@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's figures end to end
+(workload generation, closed-loop simulation, stack accounting) at the
+``ci`` experiment scale and asserts the paper's qualitative findings on
+the result. Runs are single-shot (`pedantic`, one round): the simulations
+are deterministic, so repetition only adds wall time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure once under the benchmark timer; return its result."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        )
+
+    return runner

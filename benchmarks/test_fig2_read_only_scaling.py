@@ -1,0 +1,57 @@
+"""Fig. 2: bandwidth and latency stacks, read-only seq/random, 1-8 cores."""
+
+from repro.experiments import fig2
+
+
+def achieved(stack):
+    return stack["read"] + stack["write"]
+
+
+def test_fig2(run_once):
+    figure = run_once(fig2.run, "ci")
+    peak = figure.bandwidth[0].total
+
+    seq = {c: figure.bandwidth_by_label(f"seq {c}c") for c in (1, 2, 4, 8)}
+    ran = {c: figure.bandwidth_by_label(f"ran {c}c") for c in (1, 2, 4, 8)}
+    seq_lat = {c: figure.latency_by_label(f"seq {c}c") for c in (1, 2, 4, 8)}
+    ran_lat = {c: figure.latency_by_label(f"ran {c}c") for c in (1, 2, 4, 8)}
+
+    # Sequential bandwidth grows with cores and saturates near peak.
+    assert achieved(seq[1]) < achieved(seq[2]) < achieved(seq[4])
+    assert achieved(seq[8]) > 0.85 * (peak - seq[8]["refresh"])
+
+    # One core cannot saturate: a large idle component.
+    assert seq[1].fraction("idle") > 0.25
+
+    # Queueing latency explodes once the bandwidth saturates.
+    assert seq_lat[8]["queue"] > 10 * seq_lat[1]["queue"]
+
+    # Sequential is ~page-hit perfect: no pre/act bandwidth components.
+    assert seq[1]["precharge"] + seq[1]["activate"] < 0.05 * peak
+
+    # The bank-group constraints + bank-idle components shrink as cores
+    # spread traffic over bank groups (paper: "mostly disappear" at 4+).
+    low = seq[1]["constraints"] + seq[1]["bank_idle"]
+    high = seq[8]["constraints"] + seq[8]["bank_idle"]
+    assert high < 0.5 * low
+
+    # Random: far below peak even at 8 cores; sublinear scaling.
+    assert achieved(ran[8]) < 0.75 * peak
+    assert achieved(ran[8]) < 8 * achieved(ran[1])
+    assert achieved(ran[8]) > 3 * achieved(ran[1])
+
+    # Random has pre/act components in both stacks (page hit rate ~0).
+    assert ran[8]["precharge"] + ran[8]["activate"] > 0.05 * peak
+    assert ran_lat[1]["pre_act"] > 10  # ns, ~tRP+tRCD
+
+    # Large bank-idle at low core counts *without* queueing latency
+    # (the request rate, not bank conflicts, is the limiter).
+    assert ran[1].fraction("bank_idle") > 0.3
+    assert ran_lat[1]["queue"] < 10
+
+    # Bank-idle shrinks as the chip fills up with requests.
+    assert ran[8].fraction("bank_idle") < ran[1].fraction("bank_idle")
+
+    # Every stack sums to the peak (accounting invariant).
+    for stack in figure.bandwidth:
+        stack.check_total(peak)

@@ -1,0 +1,43 @@
+"""Fig. 3: store-fraction sweep on one core."""
+
+from repro.experiments import fig3
+
+
+def achieved(stack):
+    return stack["read"] + stack["write"]
+
+
+def test_fig3(run_once):
+    figure = run_once(fig3.run, "ci")
+
+    seq = {w: figure.bandwidth_by_label(f"seq w{w}") for w in (0, 10, 20, 50)}
+    ran = {w: figure.bandwidth_by_label(f"ran w{w}") for w in (0, 10, 20, 50)}
+    seq_lat = {w: figure.latency_by_label(f"seq w{w}") for w in (0, 10, 20, 50)}
+    ran_lat = {w: figure.latency_by_label(f"ran w{w}") for w in (0, 10, 20, 50)}
+
+    # Stores produce write bandwidth on both patterns.
+    assert seq[50]["write"] > seq[10]["write"] > 0
+    assert ran[50]["write"] > ran[10]["write"] > 0
+
+    # Sequential: the write stream interferes — read bandwidth drops
+    # and queueing/writeburst latency grows with the store fraction.
+    assert seq[50]["read"] < seq[0]["read"]
+    assert seq_lat[50]["queue"] > seq_lat[0]["queue"]
+    assert seq_lat[50]["writeburst"] > 0
+
+    # Sequential write interference shows as a bank-conflict signature:
+    # bank-idle grows versus the read-only run.
+    assert seq[20]["bank_idle"] > seq[0]["bank_idle"]
+
+    # Random: total bandwidth increases monotonically with stores
+    # (writes spread across banks).
+    totals = [achieved(ran[w]) for w in (0, 10, 20, 50)]
+    assert totals == sorted(totals)
+
+    # Random: precharge/activate and constraints components grow.
+    assert ran[50]["precharge"] > ran[0]["precharge"]
+    assert ran[50]["constraints"] > ran[0]["constraints"]
+
+    # Latency grows mildly for random, without a writeburst blowup.
+    assert ran_lat[50]["queue"] > ran_lat[0]["queue"]
+    assert ran_lat[50]["writeburst"] < seq_lat[50]["writeburst"] + 5

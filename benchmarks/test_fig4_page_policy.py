@@ -1,0 +1,40 @@
+"""Fig. 4: open vs closed page policy on 2 cores, read-only."""
+
+from repro.experiments import fig4
+
+
+def achieved(stack):
+    return stack["read"] + stack["write"]
+
+
+def test_fig4(run_once):
+    figure = run_once(fig4.run, "ci")
+
+    seq_open = figure.bandwidth_by_label("seq open")
+    seq_closed = figure.bandwidth_by_label("seq closed")
+    ran_open = figure.bandwidth_by_label("ran open")
+    ran_closed = figure.bandwidth_by_label("ran closed")
+    seq_open_lat = figure.latency_by_label("seq open")
+    seq_closed_lat = figure.latency_by_label("seq closed")
+    ran_open_lat = figure.latency_by_label("ran open")
+    ran_closed_lat = figure.latency_by_label("ran closed")
+
+    # Sequential performs worse with a closed policy...
+    assert achieved(seq_closed) < achieved(seq_open)
+    assert seq_closed_lat.total > seq_open_lat.total
+    # ...with the latency increase mostly in queueing, not pre/act...
+    queue_increase = seq_closed_lat["queue"] - seq_open_lat["queue"]
+    pre_act_increase = seq_closed_lat["pre_act"] - seq_open_lat["pre_act"]
+    assert queue_increase > pre_act_increase
+    # ...and a larger bank-idle component in the bandwidth stack.
+    assert seq_closed["bank_idle"] > seq_open["bank_idle"]
+
+    # Random improves with a closed policy (paper: +11 %).
+    gain = achieved(ran_closed) / achieved(ran_open)
+    assert 1.02 < gain < 1.35
+    # The pre/act latency component shrinks (precharge off the critical
+    # path)...
+    assert ran_closed_lat["pre_act"] < 0.75 * ran_open_lat["pre_act"]
+    assert ran_closed_lat.total < ran_open_lat.total
+    # ...and the precharge bandwidth component (mostly) disappears.
+    assert ran_closed["precharge"] < 0.3 * ran_open["precharge"]

@@ -1,0 +1,44 @@
+"""Fig. 6: default vs cache-line-interleaved bank indexing."""
+
+from repro.experiments import fig6
+
+
+def achieved(stack):
+    return stack["read"] + stack["write"]
+
+
+def test_fig6(run_once):
+    figure = run_once(fig6.run, "ci")
+
+    # Case 1: sequential with 50 % stores, 1 core, open policy.
+    w50_def = figure.latency_by_label("seq w50 1c open def")
+    w50_int = figure.latency_by_label("seq w50 1c open int")
+    w50_def_bw = figure.bandwidth_by_label("seq w50 1c open def")
+    w50_int_bw = figure.bandwidth_by_label("seq w50 1c open int")
+
+    # Interleaving trades queueing + writeburst for pre/act...
+    assert (
+        w50_int["queue"] + w50_int["writeburst"]
+        < w50_def["queue"] + w50_def["writeburst"]
+    )
+    assert w50_int["pre_act"] > w50_def["pre_act"]
+    # ...and wins overall for this bank-conflict-bound case.
+    assert w50_int.total <= w50_def.total + 1.0
+    assert achieved(w50_int_bw) >= 0.98 * achieved(w50_def_bw)
+
+    # Case 2: read-only sequential, 2 cores, closed policy — the same
+    # component trade (queueing down, pre/act up).
+    c2_def = figure.latency_by_label("seq w0 2c closed def")
+    c2_int = figure.latency_by_label("seq w0 2c closed int")
+    assert c2_int["queue"] < c2_def["queue"]
+    assert c2_int["pre_act"] > c2_def["pre_act"]
+
+    # The interleaved scheme grows the activate/precharge bandwidth
+    # components in both cases (more page misses).
+    for tag in ("seq w50 1c open", "seq w0 2c closed"):
+        default = figure.bandwidth_by_label(f"{tag} def")
+        inter = figure.bandwidth_by_label(f"{tag} int")
+        assert (
+            inter["activate"] + inter["precharge"]
+            > default["activate"] + default["precharge"]
+        )

@@ -1,0 +1,45 @@
+"""Fig. 7: through-time cycle / bandwidth / latency stacks for bfs 8c."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(run_once):
+    figure = run_once(fig7.run, "ci")
+
+    steps = figure.extra["steps"]
+    directions = {direction for __, direction, __ in steps}
+    # Direction-optimizing BFS really switches direction.
+    assert directions == {"top-down", "bottom-up"}
+
+    bw = figure.series["bandwidth"]
+    lat = figure.series["latency"]
+    cyc = figure.series["cycle"]
+    assert len(bw) >= 8
+
+    # Phase behaviour: bandwidth varies strongly through time.
+    achieved = [s["read"] + s["write"] for s in bw]
+    assert max(achieved) > 2 * (min(achieved[1:-1]) + 0.1)
+
+    # The low-parallelism phases show as idle cycle-stack components.
+    idle = [s["idle"] for s in cyc]
+    assert max(idle) > 0.3
+
+    # bfs is memory bound: dram components dominate the busy phases.
+    dram = [s["dram_latency"] + s["dram_queue"] for s in cyc]
+    assert max(dram) > 0.5
+
+    # Correlation (paper Sec. VIII-A): the busiest bandwidth bins carry
+    # more dram-queue cycle share than the idlest bins.
+    paired = sorted(zip(achieved, [s["dram_queue"] for s in cyc[:len(bw)]]))
+    low_third = [q for __, q in paired[: len(paired) // 3]]
+    high_third = [q for __, q in paired[-len(paired) // 3:]]
+    assert sum(high_third) / len(high_third) > sum(low_third) / len(low_third)
+
+    # Every bandwidth bin sums to the peak.
+    for stack in bw:
+        stack.check_total(bw[0].total)
+
+    # Latency bins with traffic include the base read time.
+    for stack in lat:
+        if stack.total > 0:
+            assert stack["base_cntlr"] + stack["base_dram"] > 20

@@ -1,0 +1,45 @@
+"""Fig. 8: latency-stack what-ifs — indexing and write-queue size."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(run_once):
+    figure = run_once(fig8.run, "ci")
+
+    bfs_def = figure.latency_by_label("bfs 8c def")
+    bfs_int = figure.latency_by_label("bfs 8c int")
+    bfs_wq = figure.latency_by_label("bfs 8c wq128")
+    tc_def = figure.latency_by_label("tc 1c def")
+    tc_int = figure.latency_by_label("tc 1c int")
+    tc_open = figure.latency_by_label("tc 1c open")
+
+    # bfs + interleaved indexing: queueing (and writeburst) shrink, the
+    # pre/act component grows, and the total stays about the same —
+    # the lower page hit rate eats the gain.
+    assert (
+        bfs_int["queue"] + bfs_int["writeburst"]
+        < bfs_def["queue"] + bfs_def["writeburst"]
+    )
+    assert bfs_int["pre_act"] > bfs_def["pre_act"]
+    assert abs(bfs_int.total - bfs_def.total) < 0.15 * bfs_def.total
+    assert (
+        figure.extra["bfs 8c int page_hit_rate"]
+        < figure.extra["bfs 8c def page_hit_rate"]
+    )
+
+    # bfs + 128-entry write queue: fewer/later drains reduce the
+    # writeburst component.
+    assert bfs_wq["writeburst"] < bfs_def["writeburst"]
+
+    # tc: a visible queueing component despite very low bandwidth.
+    tc_bw = figure.bandwidth_by_label("tc 1c def")
+    assert tc_bw["read"] + tc_bw["write"] < 0.35 * tc_bw.total
+    assert tc_def["queue"] > 5
+
+    # Interleaving moves tc's queueing into pre/act, with no net win...
+    assert tc_int["queue"] < 0.6 * tc_def["queue"]
+    assert tc_int["pre_act"] > tc_def["pre_act"]
+    assert abs(tc_int.total - tc_def.total) < 0.15 * tc_def.total
+
+    # ...while the open page policy actually reduces tc's latency.
+    assert tc_open.total < 0.92 * tc_def.total

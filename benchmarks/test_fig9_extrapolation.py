@@ -1,0 +1,32 @@
+"""Fig. 9: stack-based vs naive bandwidth extrapolation, 1c -> 8c."""
+
+from repro.experiments import fig9
+from repro.workloads.gap.suite import GAP_KERNELS
+
+
+def test_fig9(run_once):
+    figure = run_once(fig9.run, "ci")
+    rows = figure.extra["rows"]
+    assert {row["kernel"] for row in rows} == set(GAP_KERNELS)
+
+    # The headline result: the stack-based method is more accurate than
+    # the naive method on average (the paper: 8 % vs 27 %).
+    assert figure.extra["avg_stack_error"] < figure.extra["avg_naive_error"]
+
+    # Per kernel, the stack-based prediction is never *more* optimistic
+    # than the naive one (it accounts for overhead scaling).
+    for row in rows:
+        assert row["stack"] <= row["naive"] + 1e-9
+
+    # The stack-based method wins (or ties) for a clear majority of
+    # kernels.
+    wins = sum(
+        1 for row in rows if row["stack_error"] <= row["naive_error"] + 1e-9
+    )
+    assert wins >= 4
+
+    # Both methods respect the physical peak.
+    peak = figure.bandwidth[0].total
+    for row in rows:
+        assert row["naive"] <= peak
+        assert row["stack"] <= peak

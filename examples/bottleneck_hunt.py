@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Diagnose and fix a bank-conflict bottleneck using the stacks.
+
+Scenario from the paper (Sec. VII-D): a sequential stream with 50 %
+stores on one core. The bandwidth stack shows a large bank-idle
+component *and* the latency stack shows queueing + writeburst — the
+signature of a bank-interleaving problem, not a request-rate problem.
+The fix the stacks suggest: cache-line-interleaved bank indexing.
+"""
+
+from repro.analysis.advisor import advise
+from repro.cpu import CpuSystem, SystemConfig
+from repro.experiments.config import paper_system
+from repro.viz.ascii_art import render_stack_table
+from repro.workloads.synthetic import SequentialWorkload, SyntheticConfig
+
+
+def simulate(address_scheme: str):
+    config = paper_system(
+        cores=1, page_policy="open", address_scheme=address_scheme, gap=True,
+    )
+    workload = SequentialWorkload(SyntheticConfig(
+        accesses_per_core=6000, store_fraction=0.5,
+    ))
+    system = CpuSystem(config)
+    result = system.run(workload.traces(1))
+    tag = "int" if address_scheme == "interleaved" else "def"
+    return (
+        result.bandwidth_stack(f"bw {tag}"),
+        result.latency_stack(f"lat {tag}"),
+    )
+
+
+def main() -> None:
+    print("Step 1: measure with the default indexing scheme")
+    bw_def, lat_def = simulate("default")
+    print(render_stack_table([bw_def, lat_def]))
+
+    print()
+    print("Step 2: what do the stacks say?")
+    for finding in advise(bw_def, lat_def):
+        print(f"  - {finding}")
+
+    print()
+    print("Step 3: apply the suggested fix (cache-line interleaving)")
+    bw_int, lat_int = simulate("interleaved")
+    print(render_stack_table([bw_def, bw_int]))
+    print(render_stack_table([lat_def, lat_int]))
+
+    print()
+    queue_before = lat_def["queue"] + lat_def["writeburst"]
+    queue_after = lat_int["queue"] + lat_int["writeburst"]
+    print(f"queue+writeburst latency: {queue_before:.1f} ns -> "
+          f"{queue_after:.1f} ns")
+    print(f"pre/act latency: {lat_def['pre_act']:.1f} ns -> "
+          f"{lat_int['pre_act']:.1f} ns "
+          f"(the cost of breaking page locality)")
+    achieved_before = bw_def["read"] + bw_def["write"]
+    achieved_after = bw_int["read"] + bw_int["write"]
+    print(f"achieved bandwidth: {achieved_before:.2f} -> "
+          f"{achieved_after:.2f} GB/s")
+
+
+if __name__ == "__main__":
+    main()

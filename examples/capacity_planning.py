@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Capacity planning with stack-based extrapolation (paper Sec. VIII-B).
+
+Question: "this service runs on 1 core today — what memory bandwidth
+will it use on an 8-core part?" The naive answer multiplies today's
+bandwidth by 8 and caps at the peak; the stack-based answer also scales
+the pre/act and constraint overheads, which eat into the achievable
+bandwidth. We check both against an actual 8-core simulation of the
+PageRank kernel.
+"""
+
+from repro.experiments.runner import run_gap
+from repro.stacks.extrapolation import (
+    extrapolate_naive,
+    extrapolate_series,
+    extrapolate_stack_based,
+)
+from repro.viz.ascii_art import render_stacks
+
+KERNEL = "pr"
+FACTOR = 8
+
+
+def main() -> None:
+    print(f"measuring {KERNEL} on 1 core...")
+    one_core, workload = run_gap(KERNEL, cores=1, scale="ci")
+    stack_1c = one_core.bandwidth_stack("1 core")
+    print(render_stacks([stack_1c]))
+
+    achieved_1c = stack_1c["read"] + stack_1c["write"]
+    naive = extrapolate_naive(stack_1c, FACTOR)
+    stack_pred, extrapolated = extrapolate_stack_based(stack_1c, FACTOR)
+    print()
+    print(f"achieved at 1 core:        {achieved_1c:6.2f} GB/s")
+    print(f"naive x{FACTOR} prediction:      {naive:6.2f} GB/s")
+    print(f"stack-based prediction:    {stack_pred:6.2f} GB/s")
+
+    # Phases scale differently: extrapolate per time sample too.
+    series = one_core.bandwidth_series(15_000)
+    per_sample = extrapolate_series(series, FACTOR, method="stack")
+    print(f"stack-based (per sample):  {per_sample:6.2f} GB/s")
+
+    print()
+    print(f"validating on {FACTOR} cores (same graph)...")
+    eight_core, __ = run_gap(
+        KERNEL, cores=FACTOR, scale="ci", graph=workload.graph
+    )
+    measured = eight_core.achieved_bandwidth_gbps
+    print(f"measured at {FACTOR} cores:       {measured:6.2f} GB/s")
+    print()
+    for name, value in (
+        ("naive", naive), ("stack-based", per_sample),
+    ):
+        error = abs(value - measured) / measured
+        print(f"{name:12s} error: {error:6.1%}")
+
+    print()
+    print("extrapolated stack (what the 8-core system should look like):")
+    print(render_stacks([extrapolated]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a memory-bound workload and read its stacks.
+
+Runs the paper's random-access pattern on 4 cores against a DDR4-2400
+channel, prints the bandwidth stack (where did the 19.2 GB/s go?), the
+latency stack (where does a read's time go?) and the advisor's findings.
+"""
+
+from repro.analysis.report import render_report
+from repro.cpu import CpuSystem, SystemConfig
+from repro.workloads.synthetic import RandomWorkload, SyntheticConfig
+
+
+def main() -> None:
+    cores = 4
+    workload = RandomWorkload(SyntheticConfig(accesses_per_core=4000))
+    system = CpuSystem(SystemConfig(cores=cores))
+    result = system.run(workload.traces(cores))
+
+    print(render_report(
+        result.bandwidth_stack("bandwidth"),
+        result.latency_stack("latency"),
+        result.cycle_stack("cycles"),
+        title=f"random pattern on {cores} cores (DDR4-2400)",
+    ))
+
+    print()
+    print(f"simulated {result.total_cycles} memory cycles "
+          f"({result.runtime_ms:.3f} ms)")
+    print(f"DRAM reads: {result.dram_reads}, writes: {result.dram_writes}")
+    print(f"page hit rate: {result.memory.stats.page_hit_rate:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure at the requested scale.
+
+Writes per-figure text to results/<fig>.txt and SVGs alongside; prints a
+timing summary. Used to produce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+import io
+import os
+import sys
+import time
+from contextlib import redirect_stdout
+
+FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9")
+
+
+def main() -> int:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "paper"
+    output_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
+    os.makedirs(output_dir, exist_ok=True)
+    for name in FIGURES:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.time()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main(scale=scale, output_dir=output_dir)
+        elapsed = time.time() - start
+        text = buffer.getvalue()
+        path = os.path.join(output_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{name}: {elapsed:6.1f}s -> {path}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

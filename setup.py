@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in pyproject.toml; this file exists so editable
+installs work on environments whose setuptools predates PEP 660 support
+(no `wheel` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

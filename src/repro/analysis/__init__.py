@@ -1,0 +1,24 @@
+"""Analysis: turn stacks into actionable guidance and text reports."""
+
+from repro.analysis.advisor import Finding, advise
+from repro.analysis.locality import (
+    LocalityReport,
+    analyze_addresses,
+    analyze_trace_items,
+    compare_mappings,
+)
+from repro.analysis.phases import Phase, describe_phases, detect_phases
+from repro.analysis.report import render_report
+
+__all__ = [
+    "Finding",
+    "LocalityReport",
+    "Phase",
+    "advise",
+    "analyze_addresses",
+    "analyze_trace_items",
+    "compare_mappings",
+    "describe_phases",
+    "detect_phases",
+    "render_report",
+]

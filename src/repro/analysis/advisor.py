@@ -1,0 +1,117 @@
+"""Bottleneck advisor: the paper's interpretation rules as code.
+
+Sec. IV ends with a summary of what each lost-bandwidth component means
+and how to address it; Sec. V adds the bandwidth/latency complementarity
+rules (e.g. a high bank-idle component means "raise the request rate"
+when queueing is low, but "fix the bank interleaving" when queueing is
+high). :func:`advise` applies those rules to a pair of stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stacks.components import Stack
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed bottleneck.
+
+    Attributes:
+        component: the stack component driving the finding.
+        severity: fraction of peak bandwidth (or of latency) involved.
+        diagnosis: what is happening.
+        remedy: the paper's suggested action.
+    """
+
+    component: str
+    severity: float
+    diagnosis: str
+    remedy: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.component}: {self.severity:.0%}] "
+            f"{self.diagnosis} -> {self.remedy}"
+        )
+
+
+#: Components below this share of the peak are not reported.
+_THRESHOLD = 0.10
+
+
+def advise(
+    bandwidth: Stack, latency: Stack | None = None
+) -> list[Finding]:
+    """Diagnose a bandwidth stack (optionally with its latency stack).
+
+    Returns findings ordered by severity, most severe first.
+    """
+    findings: list[Finding] = []
+    idle = bandwidth.fraction("idle")
+    bank_idle = bandwidth.fraction("bank_idle")
+    pre_act = bandwidth.fraction("precharge") + bandwidth.fraction("activate")
+    constraints = bandwidth.fraction("constraints")
+    achieved = bandwidth.fraction("read") + bandwidth.fraction("write")
+
+    queue_heavy = False
+    if latency is not None and latency.total > 0:
+        queue_heavy = latency.fraction("queue") > 0.3
+
+    if idle > _THRESHOLD:
+        findings.append(Finding(
+            "idle", idle,
+            "the full DRAM chip is idle part of the time",
+            "increase the request rate: more threads or more "
+            "memory-level parallelism",
+        ))
+    if bank_idle > _THRESHOLD:
+        if queue_heavy:
+            findings.append(Finding(
+                "bank_idle", bank_idle,
+                "some banks are idle while others queue up requests "
+                "(high queueing latency confirms bank conflicts)",
+                "improve bank interleaving, e.g. cache-line interleaved "
+                "address mapping",
+            ))
+        else:
+            findings.append(Finding(
+                "bank_idle", bank_idle,
+                "some banks are idle while others are active, without "
+                "significant queueing",
+                "increase the request rate; if that does not help, make "
+                "the distribution across banks more uniform",
+            ))
+    if pre_act > _THRESHOLD:
+        findings.append(Finding(
+            "precharge/activate", pre_act,
+            "time is spent closing and opening pages",
+            "increase the page hit rate by optimizing locality (or "
+            "consider the other page policy)",
+        ))
+    if constraints > _THRESHOLD:
+        findings.append(Finding(
+            "constraints", constraints,
+            "DRAM timing constraints limit throughput",
+            "avoid constant switching between reads and writes; spread "
+            "consecutive accesses over bank groups",
+        ))
+    if latency is not None and latency.total > 0:
+        writeburst = latency.fraction("writeburst")
+        if writeburst > _THRESHOLD:
+            findings.append(Finding(
+                "writeburst", writeburst,
+                "reads are regularly blocked behind write-buffer drains",
+                "larger write queue, better write spreading across "
+                "banks, or fewer read/write switches",
+            ))
+    if achieved > 0.85:
+        findings.append(Finding(
+            "achieved", achieved,
+            "bandwidth usage is close to the peak",
+            "the memory system is saturated; reduce traffic or add "
+            "memory channels",
+        ))
+    findings.sort(key=lambda f: f.severity, reverse=True)
+    return findings

@@ -1,0 +1,125 @@
+"""Row-buffer locality analysis of request streams.
+
+The paper's remedy for a large precharge/activate component is "increase
+the page hit rate by optimizing locality". This module quantifies where
+an address stream stands: the page hit rate an *ideal* (no-conflict,
+open-page) memory would see, per-bank access imbalance, and a row reuse-
+distance histogram that shows how far apart same-row accesses are — i.e.
+whether a bigger row buffer or better blocking would help.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapping
+from repro.errors import AccountingError
+
+
+@dataclass
+class LocalityReport:
+    """Locality statistics for one address stream.
+
+    Attributes:
+        accesses: stream length.
+        ideal_page_hit_rate: hit rate under an open-page memory with no
+            interference (upper bound for any controller).
+        bank_counts: accesses per flat bank index.
+        bank_imbalance: max-over-mean of bank_counts (1.0 = uniform).
+        reuse_histogram: row reuse distance (in intervening *distinct
+            rows on the same bank*) -> count; distance 0 means the very
+            next access to the bank hit the same row.
+    """
+
+    accesses: int
+    ideal_page_hit_rate: float
+    bank_counts: dict[int, int]
+    bank_imbalance: float
+    reuse_histogram: dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """Human-readable key statistics."""
+        lines = [
+            f"accesses:              {self.accesses}",
+            f"ideal page hit rate:   {self.ideal_page_hit_rate:.1%}",
+            f"banks touched:         {len(self.bank_counts)}",
+            f"bank imbalance (max/mean): {self.bank_imbalance:.2f}",
+        ]
+        if self.reuse_histogram:
+            near = sum(
+                count for distance, count in self.reuse_histogram.items()
+                if distance == 0
+            )
+            total = sum(self.reuse_histogram.values())
+            lines.append(
+                f"same-row immediately reused: {near / total:.1%} "
+                f"of row revisits"
+            )
+        return "\n".join(lines)
+
+
+def analyze_addresses(
+    addresses,
+    mapping: AddressMapping,
+) -> LocalityReport:
+    """Analyze a sequence of byte addresses under an address mapping."""
+    open_rows: dict[int, int] = {}
+    last_rows: dict[int, list[int]] = defaultdict(list)
+    bank_counts: Counter = Counter()
+    reuse: Counter = Counter()
+    hits = 0
+    total = 0
+
+    for address in addresses:
+        coords = mapping.decode(address)
+        flat = mapping.flat_bank_index(coords)
+        total += 1
+        bank_counts[flat] += 1
+        if open_rows.get(flat) == coords.row:
+            hits += 1
+        open_rows[flat] = coords.row
+        # Reuse distance: how many *distinct* other rows were opened on
+        # this bank since the last access to this row.
+        history = last_rows[flat]
+        if coords.row in history:
+            index = history.index(coords.row)
+            distance = len(history) - 1 - index
+            reuse[distance] += 1
+            history.remove(coords.row)
+        history.append(coords.row)
+        if len(history) > 64:  # bounded history
+            history.pop(0)
+
+    if total == 0:
+        raise AccountingError("empty address stream")
+    counts = dict(bank_counts)
+    mean = total / max(len(counts), 1)
+    imbalance = max(counts.values()) / mean if counts else 0.0
+    return LocalityReport(
+        accesses=total,
+        ideal_page_hit_rate=hits / total,
+        bank_counts=counts,
+        bank_imbalance=imbalance,
+        reuse_histogram=dict(reuse),
+    )
+
+
+def analyze_trace_items(items, mapping: AddressMapping) -> LocalityReport:
+    """Analyze the memory operations of a TraceItem stream."""
+    return analyze_addresses(
+        (item.address for item in items if item.address >= 0),
+        mapping,
+    )
+
+
+def compare_mappings(
+    addresses,
+    mappings: dict[str, AddressMapping],
+) -> dict[str, LocalityReport]:
+    """The same stream under several address mappings (Fig. 5 what-if)."""
+    addresses = list(addresses)
+    return {
+        name: analyze_addresses(addresses, mapping)
+        for name, mapping in mappings.items()
+    }

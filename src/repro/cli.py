@@ -1,0 +1,196 @@
+"""Command-line interface: ``dram-stacks``.
+
+Subcommands:
+
+* ``analyze`` — run a synthetic pattern or GAP kernel and print the
+  bandwidth/latency/cycle stacks with the bottleneck advisor's findings.
+* ``figure`` — regenerate one of the paper's figures (fig2..fig9).
+* ``trace`` — build a bandwidth stack from a stored command trace.
+* ``specs`` — list the built-in DRAM timing specifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import render_report
+from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
+from repro.experiments.runner import run_gap, run_synthetic
+from repro.trace.io import read_trace_path
+from repro.trace.offline import offline_bandwidth_stack
+from repro.viz.ascii_art import render_stacks
+from repro.workloads.gap.suite import GAP_KERNELS
+
+_FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dram-stacks",
+        description="DRAM bandwidth and latency stacks (ISPASS 2022 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="run a workload and print its stacks + findings"
+    )
+    analyze.add_argument(
+        "workload",
+        choices=(
+            "sequential", "random", "strided", "pointer-chase",
+        ) + GAP_KERNELS,
+        help="synthetic pattern or GAP kernel",
+    )
+    analyze.add_argument("--cores", type=int, default=1)
+    analyze.add_argument("--stores", type=float, default=0.0,
+                         help="store fraction (synthetic only)")
+    analyze.add_argument("--page-policy", choices=("open", "closed"),
+                         default=None)
+    analyze.add_argument("--scheme", choices=("default", "interleaved"),
+                         default="default", help="bank indexing scheme")
+    analyze.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    analyze.add_argument(
+        "--format", choices=("report", "csv", "json"), default="report",
+        help="output format: human report, CSV table, or JSON",
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", choices=_FIGURES)
+    figure.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    figure.add_argument("--output-dir", default="results")
+
+    phases = sub.add_parser(
+        "phases", help="through-time phase analysis of a workload"
+    )
+    phases.add_argument(
+        "workload",
+        choices=(
+            "sequential", "random", "strided", "pointer-chase", "phased",
+        ) + GAP_KERNELS,
+    )
+    phases.add_argument("--cores", type=int, default=1)
+    phases.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    phases.add_argument("--threshold", type=float, default=0.3)
+
+    trace = sub.add_parser(
+        "trace", help="bandwidth stack from a stored command trace"
+    )
+    trace.add_argument("path")
+
+    sub.add_parser("specs", help="list built-in timing specs")
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.workload in GAP_KERNELS:
+        result, workload = run_gap(
+            args.workload,
+            cores=args.cores,
+            page_policy=args.page_policy or "closed",
+            address_scheme=args.scheme,
+            scale=args.scale,
+        )
+        title = f"GAP {workload.describe()} on {args.cores} core(s)"
+    else:
+        result = run_synthetic(
+            args.workload,
+            cores=args.cores,
+            store_fraction=args.stores,
+            page_policy=args.page_policy or "open",
+            address_scheme=args.scheme,
+            scale=args.scale,
+        )
+        title = (
+            f"{args.workload} w{int(args.stores * 100)} on "
+            f"{args.cores} core(s)"
+        )
+    bandwidth = result.bandwidth_stack("bandwidth")
+    latency = result.latency_stack("latency")
+    cycles = result.cycle_stack("cycles")
+    if args.format == "csv":
+        from repro.viz.export import stacks_to_csv
+
+        print(stacks_to_csv([bandwidth]), end="")
+        print(stacks_to_csv([latency]), end="")
+    elif args.format == "json":
+        from repro.viz.export import stacks_to_json
+
+        print(stacks_to_json([bandwidth, latency, cycles]))
+    else:
+        print(render_report(bandwidth, latency, cycles, title=title))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main(scale=args.scale, output_dir=args.output_dir)
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.analysis.phases import describe_phases, detect_phases
+
+    if args.workload in GAP_KERNELS:
+        result, __ = run_gap(
+            args.workload, cores=args.cores, scale=args.scale,
+        )
+    elif args.workload == "phased":
+        from repro.cpu import CpuSystem
+        from repro.experiments.config import get_scale, paper_system
+        from repro.workloads.synthetic import PhasedWorkload, SyntheticConfig
+
+        scale = get_scale(args.scale)
+        workload = PhasedWorkload(config=SyntheticConfig(
+            accesses_per_core=scale.synthetic_accesses,
+        ))
+        system = CpuSystem(paper_system(cores=args.cores, gap=True))
+        result = system.run(workload.traces(args.cores))
+    else:
+        result = run_synthetic(
+            args.workload, cores=args.cores, scale=args.scale,
+        )
+    bins = max(1000, result.total_cycles // 24)
+    series = result.bandwidth_series(bins, args.workload)
+    phases = detect_phases(series, threshold=args.threshold, min_bins=2)
+    print(describe_phases(phases, ("read", "write", "bank_idle", "idle")))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = read_trace_path(args.path)
+    stack = offline_bandwidth_stack(trace, label=args.path)
+    print(render_stacks([stack], title=f"bandwidth stack from {args.path}"))
+    return 0
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    for spec in (DDR4_2400, DDR4_3200, DDR5_4800):
+        org = spec.organization
+        print(
+            f"{spec.name}: {spec.transfer_rate_mts:.0f} MT/s, "
+            f"{spec.peak_bandwidth_gbps:.1f} GB/s peak, "
+            f"{org.bank_groups}x{org.banks_per_group} banks, "
+            f"CL{spec.tCL} tRCD{spec.tRCD} tRP{spec.tRP}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "figure": _cmd_figure,
+        "phases": _cmd_phases,
+        "trace": _cmd_trace,
+        "specs": _cmd_specs,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

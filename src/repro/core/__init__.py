@@ -1,0 +1,10 @@
+"""The paper's primary contribution, under its conventional name.
+
+``repro.core`` is an alias for :mod:`repro.stacks` — the bandwidth /
+latency / cycle stack accounting mechanisms and the stack-based
+extrapolation. The implementation lives in ``repro/stacks/`` (see
+DESIGN.md); both import paths are stable API.
+"""
+
+from repro.stacks import *  # noqa: F401,F403
+from repro.stacks import __all__  # noqa: F401

@@ -1,0 +1,31 @@
+"""Closed-loop CPU model: caches, prefetcher and interval cores.
+
+The paper attaches 1-8 Skylake-like out-of-order cores to the memory
+controller through a cache hierarchy (32 KB L1, 1 MB private L2, 11 MB
+shared NUCA LLC). Cycle-accurate OOO simulation is replaced here by an
+interval-style approximation (see DESIGN.md) that preserves the closed
+loop the paper's analyses depend on: cores generate memory requests at a
+rate limited by their ROB/MSHR window and the observed memory latency,
+and stall time is attributable to cache vs. DRAM-base vs. DRAM-queue.
+"""
+
+from repro.cpu.cache import CacheConfig, SetAssociativeCache, SharedCache
+from repro.cpu.core import CoreConfig, IntervalCore
+from repro.cpu.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cpu.prefetcher import PrefetcherConfig, StreamPrefetcher
+from repro.cpu.system import CpuSystem, SystemConfig, SimulationResult
+
+__all__ = [
+    "CacheConfig",
+    "CacheHierarchy",
+    "CoreConfig",
+    "CpuSystem",
+    "HierarchyConfig",
+    "IntervalCore",
+    "PrefetcherConfig",
+    "SetAssociativeCache",
+    "SharedCache",
+    "SimulationResult",
+    "StreamPrefetcher",
+    "SystemConfig",
+]

@@ -1,0 +1,432 @@
+"""Interval-style out-of-order core approximation.
+
+The core consumes a trace of :class:`TraceItem` records. It dispatches
+instructions at its dispatch width (scaled to the memory clock), issues
+memory operations through the cache hierarchy, and keeps a window of
+outstanding loads bounded by the ROB size and MSHR count. It stalls —
+exactly like the closed loop the paper describes — when:
+
+* the oldest load is incomplete and the ROB is full,
+* a dependent load's producer has not returned,
+* all MSHRs are busy.
+
+Stall time is attributed to cycle-stack components (``dcache``,
+``dram_latency``, ``dram_queue``) using the completed request's timing.
+Stores never block retirement (Sec. V: "writes usually do not stall a
+core") but do consume MSHRs and trigger write-allocate fills.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.dram.commands import Request
+from repro.errors import ConfigurationError
+from repro.stacks.cycle import CycleStackBuilder
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """One unit of work in a core's instruction trace.
+
+    Attributes:
+        instructions: non-memory instructions executed before the
+            (optional) memory operation.
+        address: byte address of the memory operation, or -1 for none.
+        is_store: the operation is a store (write-allocate).
+        dependency_distance: 0 for an independent access; k > 0 makes the
+            access depend on the k-th most recent load (pointer-chase
+            style). Emitting every item with distance k yields k
+            independent dependence chains, i.e. memory-level
+            parallelism of about k.
+        branch_mispredicts: mispredicted branches in this block.
+        barrier: synchronization point — the core waits for all cores.
+    """
+
+    instructions: int = 0
+    address: int = -1
+    is_store: bool = False
+    dependency_distance: int = 0
+    branch_mispredicts: int = 0
+    barrier: bool = False
+
+    @property
+    def has_memory_op(self) -> bool:
+        """Whether this item carries a load/store."""
+        return self.address >= 0
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Core parameters, defaulting to the paper's Skylake-like setup.
+
+    All times are memory-controller cycles (1.2 GHz); ``freq_ratio`` is
+    the core-to-memory clock ratio, so a 4-wide core at ratio 3 dispatches
+    up to 12 instructions per memory cycle.
+    """
+
+    dispatch_width: int = 4
+    rob_size: int = 224
+    mshrs: int = 7
+    dram_inflight_cap: int = 7
+    freq_ratio: float = 3.0
+    branch_penalty: float = 5.0  # memory cycles per misprediction
+    noc_request_cycles: int = 21  # core -> memory controller
+    noc_response_cycles: int = 21  # data return path
+    cycle_stack_bin: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.dispatch_width < 1 or self.rob_size < 1 or self.mshrs < 1:
+            raise ConfigurationError("core resources must be >= 1")
+        if self.freq_ratio <= 0:
+            raise ConfigurationError("freq_ratio must be positive")
+
+    @property
+    def instructions_per_cycle(self) -> float:
+        """Peak dispatch rate in instructions per memory cycle."""
+        return self.dispatch_width * self.freq_ratio
+
+
+@dataclass
+class OutstandingLoad:
+    """A load (or store fill) in flight."""
+
+    index: int  # cumulative instruction index at dispatch
+    level: str  # "l2" / "llc" / "mem"
+    complete: float | None  # known completion time, None while in DRAM
+    is_store: bool
+    request: Request | None = None
+
+
+#: Core scheduling states returned by :meth:`IntervalCore.advance`.
+RUNNING = "running"
+BLOCKED = "blocked"
+AT_BARRIER = "barrier"
+FINISHED = "finished"
+
+
+@dataclass
+class CoreStats:
+    """Per-core instruction and cache-level counters."""
+    instructions: int = 0
+    memory_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    dram_loads: int = 0
+    dram_pending_hits: int = 0
+
+
+class IntervalCore:
+    """One core of the closed-loop model.
+
+    The system driver calls :meth:`advance` repeatedly; the core runs
+    until it blocks on memory, reaches a barrier, exhausts a time quantum
+    or finishes its trace. Memory requests are issued through the
+    `memory` callback supplied by the driver; completions are delivered
+    via :meth:`complete_request`.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig,
+        hierarchy: CacheHierarchy,
+        memory,
+        cycle_ns: float,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.hierarchy = hierarchy
+        self._memory = memory
+        self.stats = CoreStats()
+        self.cycle_stack = CycleStackBuilder(
+            config.cycle_stack_bin, cycle_ns
+        )
+
+        self.t = 0.0
+        self._trace = iter(())
+        self._pending: TraceItem | None = None
+        self._outstanding: deque[OutstandingLoad] = deque()
+        self._mshr_used = 0
+        self._recent_loads: deque[OutstandingLoad] = deque(maxlen=64)
+        self._blocked_since: float | None = None
+        self._blocked_on: OutstandingLoad | None = None
+        self.state = FINISHED
+
+    # ------------------------------------------------------------------
+    def set_trace(self, trace) -> None:
+        """Install a new instruction trace; the core becomes runnable."""
+        self._trace = iter(trace)
+        self._pending = None
+        self.state = RUNNING
+
+    @property
+    def blocked_on_memory(self) -> bool:
+        """Whether the core waits on a DRAM completion."""
+        return self.state == BLOCKED
+
+    # ------------------------------------------------------------------
+    # Completion path
+    # ------------------------------------------------------------------
+    def complete_request(self, load: OutstandingLoad, request: Request) -> None:
+        """The DRAM request backing `load` finished."""
+        load.complete = (
+            request.finish + self.config.noc_response_cycles
+        )
+        if self.state == BLOCKED and self._can_unblock():
+            self._resume()
+
+    def _can_unblock(self) -> bool:
+        blocker = self._blocked_on
+        if blocker is not None:
+            return blocker.complete is not None
+        # Blocked on MSHR pressure: any known completion helps.
+        return any(o.complete is not None for o in self._outstanding)
+
+    def _resume(self) -> None:
+        """Leave the blocked state, charging the stall to the blocker."""
+        blocker = self._blocked_on
+        if blocker is None:
+            blocker = min(
+                (o for o in self._outstanding if o.complete is not None),
+                key=lambda o: o.complete,
+                default=None,
+            )
+        assert self._blocked_since is not None
+        wake = max(
+            self.t,
+            blocker.complete if blocker and blocker.complete else self.t,
+        )
+        self._charge_stall(blocker, self._blocked_since, wake)
+        self.t = wake
+        self._blocked_since = None
+        self._blocked_on = None
+        self.state = RUNNING
+        self._retire_completed()
+
+    def _charge_stall(
+        self, load: OutstandingLoad | None, start: float, end: float
+    ) -> None:
+        """Attribute a stall interval to cycle-stack components."""
+        duration = end - start
+        if duration <= 0:
+            return
+        if load is None or load.level in ("l2", "llc"):
+            self.cycle_stack.add("dcache", start, duration)
+            return
+        request = load.request
+        if request is None or request.cas_issue < 0:
+            self.cycle_stack.add("dram_latency", start, duration)
+            return
+        total = max(request.finish - request.arrival, 1)
+        uncontended = (
+            request.finish - request.cas_issue  # tCL + burst
+            + (request.own_pre_end - request.own_pre_start
+               if request.own_pre_start >= 0 else 0)
+            + (request.own_act_end - request.own_act_start
+               if request.own_act_start >= 0 else 0)
+        )
+        queue_fraction = max(0.0, min(1.0, 1.0 - uncontended / total))
+        self.cycle_stack.add(
+            "dram_queue", start, duration * queue_fraction
+        )
+        self.cycle_stack.add(
+            "dram_latency", start + duration * queue_fraction,
+            duration * (1.0 - queue_fraction),
+        )
+
+    def _retire_completed(self) -> None:
+        """Drop leading completed loads from the window."""
+        while self._outstanding:
+            head = self._outstanding[0]
+            if head.complete is None or head.complete > self.t:
+                break
+            self._outstanding.popleft()
+            self._mshr_used -= 1
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def advance(self, quantum: float) -> str:
+        """Run until blocked, a barrier, trace end, or `quantum` cycles."""
+        if self.state in (FINISHED, BLOCKED):
+            return self.state
+        deadline = self.t + quantum
+        while self.t < deadline:
+            self._retire_completed()
+            item = self._pending
+            if item is None:
+                item = next(self._trace, None)
+                if item is None:
+                    self.state = FINISHED
+                    return self.state
+                self._pending = item
+
+            if item.barrier:
+                # The driver releases barriers; stay pending until then.
+                self.state = AT_BARRIER
+                return self.state
+
+            if not self._dispatch_instructions(item):
+                return self.state  # blocked inside the ROB stall
+            if item.branch_mispredicts:
+                penalty = item.branch_mispredicts * self.config.branch_penalty
+                self.cycle_stack.add("branch", self.t, penalty)
+                self.t += penalty
+            if item.has_memory_op and not self._issue_memory(item):
+                return self.state  # blocked on dependency or MSHRs
+            self._pending = None
+        return self.state
+
+    def finish_barrier(self, release_time: float) -> None:
+        """Release from a barrier; idle time until `release_time`."""
+        if release_time > self.t:
+            self.cycle_stack.add("idle", self.t, release_time - self.t)
+            self.t = release_time
+        self._pending = None
+        self.state = RUNNING
+
+    def _block(self, on: OutstandingLoad | None) -> None:
+        self._blocked_since = self.t
+        self._blocked_on = on
+        self.state = BLOCKED
+
+    def _wait_for(self, load: OutstandingLoad) -> bool:
+        """Wait until `load` completes; False if its time is unknown."""
+        if load.complete is None:
+            self._block(load)
+            return False
+        self._charge_stall(load, self.t, load.complete)
+        self.t = max(self.t, load.complete)
+        self._retire_completed()
+        return True
+
+    def _dispatch_instructions(self, item: TraceItem) -> bool:
+        """Advance time for `item.instructions`, honoring the ROB bound."""
+        remaining = item.instructions
+        rate = self.config.instructions_per_cycle
+        while remaining > 0:
+            room = self._rob_room()
+            if room <= 0:
+                oldest = self._oldest_blocking_load()
+                if oldest is None:
+                    # Only non-blocking stores fill the window; treat as
+                    # ROB room (stores retire without waiting for data).
+                    room = remaining
+                elif not self._wait_for(oldest):
+                    return False
+                else:
+                    continue
+            chunk = min(remaining, room)
+            duration = chunk / rate
+            self.cycle_stack.add("base", self.t, duration)
+            self.t += duration
+            self.stats.instructions += chunk
+            remaining -= chunk
+        return True
+
+    def _rob_room(self) -> int:
+        blocking = self._oldest_blocking_load()
+        if blocking is None:
+            return self.config.rob_size
+        return self.config.rob_size - (
+            self.stats.instructions - blocking.index
+        )
+
+    def _oldest_blocking_load(self) -> OutstandingLoad | None:
+        for load in self._outstanding:
+            if load.is_store:
+                continue
+            if load.complete is None or load.complete > self.t:
+                return load
+        return None
+
+    def _issue_memory(self, item: TraceItem) -> bool:
+        """Issue the item's load/store; False when the core blocked."""
+        distance = item.dependency_distance
+        if 0 < distance <= len(self._recent_loads):
+            producer = self._recent_loads[-distance]
+            if producer.complete is None or producer.complete > self.t:
+                if not self._wait_for(producer):
+                    return False
+        if self._mshr_used >= self.config.mshrs:
+            earliest = min(
+                (o for o in self._outstanding if o.complete is not None),
+                key=lambda o: o.complete,
+                default=None,
+            )
+            if earliest is None:
+                self._block(None)
+                return False
+            if not self._wait_for(earliest):
+                return False
+            self._retire_completed()
+            if self._mshr_used >= self.config.mshrs:
+                # Completed-but-not-head entries keep MSHRs; drain harder.
+                self._drain_one_mshr()
+
+        line = self.hierarchy.line_of(item.address)
+        result, pending = self._memory.cache_access(self, line, item.is_store)
+        self.stats.memory_ops += 1
+        if item.is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        if result.level == "l1":
+            self.stats.l1_hits += 1
+            self._memory.issue_writebacks(self, result.writebacks, self.t)
+            return True
+
+        load = OutstandingLoad(
+            index=self.stats.instructions,
+            level=result.level,
+            complete=None,
+            is_store=item.is_store,
+        )
+        if pending is not None:
+            # The line is already on its way from DRAM (a prefetch or
+            # another core's demand miss): wait on that request.
+            load.level = "mem"
+            load.request = pending
+            self.stats.dram_pending_hits += 1
+            self._memory.attach_waiter(pending, self, load)
+        elif result.level == "mem":
+            self.stats.dram_loads += 1
+            load.request = self._memory.issue_read(
+                self, load, line, self.t + result.latency,
+                is_prefetch=False,
+            )
+        else:
+            if result.level == "l2":
+                self.stats.l2_hits += 1
+            else:
+                self.stats.llc_hits += 1
+            load.complete = self.t + result.latency
+        self._outstanding.append(load)
+        self._mshr_used += 1
+        if not item.is_store:
+            self._recent_loads.append(load)
+        self._memory.issue_writebacks(self, result.writebacks, self.t)
+        self._memory.issue_prefetches(self, result.prefetch_lines, self.t)
+        return True
+
+    def _drain_one_mshr(self) -> None:
+        """Free the MSHR of a completed, non-head outstanding entry."""
+        for i, load in enumerate(self._outstanding):
+            if load.complete is not None and load.complete <= self.t:
+                del self._outstanding[i]
+                self._mshr_used -= 1
+                return
+
+    # ------------------------------------------------------------------
+    def account_idle_until(self, time: float) -> None:
+        """Charge idle time (no work) up to `time`."""
+        if time > self.t:
+            self.cycle_stack.add("idle", self.t, time - self.t)
+            self.t = time

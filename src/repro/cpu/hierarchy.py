@@ -1,0 +1,153 @@
+"""Per-core cache hierarchy: private L1D and L2, shared sliced LLC.
+
+Write-back, write-allocate throughout (the paper: "the cache organization
+with write-allocate policy induces both a memory read and a write on a
+store operation to a non-cached line"). Dirty evictions cascade outward;
+dirty LLC victims become DRAM writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.cache import CacheConfig, SetAssociativeCache, SharedCache
+from repro.cpu.prefetcher import PrefetcherConfig, StreamPrefetcher
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry, defaulting to the paper's setup.
+
+    32 KB L1D, 1 MB private L2, 11 MB shared LLC in 8 NUCA slices
+    (constant across core counts), stream prefetcher at the L2-miss level.
+    Latencies are in memory-controller clock cycles (1.2 GHz).
+    """
+
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, ways=8, latency=1)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1024 * 1024, ways=16, latency=5)
+    )
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            11 * 1024 * 1024, ways=11, latency=14
+        )
+    )
+    llc_slices: int = 8
+    prefetcher: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+
+    def make_llc(self) -> SharedCache:
+        """Build the shared LLC (one per system, passed to every core)."""
+        return SharedCache(self.llc, slices=self.llc_slices)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access through the hierarchy.
+
+    Attributes:
+        level: where the line was found (``"l1"``/``"l2"``/``"llc"``) or
+            ``"mem"`` when DRAM must be accessed.
+        latency: lookup latency in memory cycles (for ``"mem"``, the time
+            spent discovering the miss before the request leaves).
+        writebacks: dirty LLC victim line numbers to write to DRAM.
+        prefetch_lines: LLC-missing line numbers the prefetcher wants.
+    """
+
+    level: str
+    latency: int
+    writebacks: list[int] = field(default_factory=list)
+    prefetch_lines: list[int] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """One core's view of the cache stack.
+
+    The LLC is shared: pass the same :class:`SharedCache` instance to the
+    hierarchies of all cores.
+    """
+
+    def __init__(
+        self, config: HierarchyConfig, shared_llc: SharedCache
+    ) -> None:
+        self.config = config
+        self.l1 = SetAssociativeCache(config.l1, "l1d")
+        self.l2 = SetAssociativeCache(config.l2, "l2")
+        self.llc = shared_llc
+        self.prefetcher = StreamPrefetcher(config.prefetcher)
+        self._line_bits = config.l1.line_bytes.bit_length() - 1
+
+    def line_of(self, address: int) -> int:
+        """Cache-line number of a byte address."""
+        return address >> self._line_bits
+
+    # ------------------------------------------------------------------
+    def access(self, line: int, is_write: bool) -> AccessResult:
+        """One demand load/store of `line` (a line number, not a byte
+        address). Updates all cache state immediately; the caller models
+        timing."""
+        config = self.config
+        writebacks: list[int] = []
+
+        if self.l1.lookup(line, is_write):
+            return AccessResult("l1", config.l1.latency)
+
+        lookup_latency = config.l1.latency + config.l2.latency
+        if self.l2.lookup(line):
+            self._fill_l1(line, is_write, writebacks)
+            return AccessResult("l2", lookup_latency, writebacks)
+
+        lookup_latency += config.llc.latency
+        prefetches = self._prefetch(line, writebacks)
+        if self.llc.lookup(line):
+            self._fill_l2(line, writebacks)
+            self._fill_l1(line, is_write, writebacks)
+            return AccessResult("llc", lookup_latency, writebacks, prefetches)
+
+        # DRAM access: fill every level now (timing handled by the core).
+        self._fill_llc(line, dirty=False, writebacks=writebacks)
+        self._fill_l2(line, writebacks)
+        self._fill_l1(line, is_write, writebacks)
+        return AccessResult("mem", lookup_latency, writebacks, prefetches)
+
+    # ------------------------------------------------------------------
+    def _fill_l1(
+        self, line: int, is_write: bool, writebacks: list[int]
+    ) -> None:
+        evicted = self.l1.insert(line, dirty=is_write)
+        if evicted is not None and evicted[1]:
+            self._fill_l2(evicted[0], writebacks, dirty=True)
+
+    def _fill_l2(
+        self, line: int, writebacks: list[int], dirty: bool = False
+    ) -> None:
+        evicted = self.l2.insert(line, dirty=dirty)
+        if evicted is not None and evicted[1]:
+            self._fill_llc(evicted[0], dirty=True, writebacks=writebacks)
+
+    def _fill_llc(
+        self, line: int, dirty: bool, writebacks: list[int]
+    ) -> None:
+        evicted = self.llc.insert(line, dirty=dirty)
+        if evicted is not None and evicted[1]:
+            writebacks.append(evicted[0])
+
+    def _prefetch(self, line: int, writebacks: list[int]) -> list[int]:
+        """Train the prefetcher on an L2 miss; returns LLC-missing lines.
+
+        The LLC is *not* filled here: the driver fills it (via
+        :meth:`fill_prefetched`) only for the prefetches it actually
+        issues, so dropped prefetches leave no phantom cache state.
+        """
+        return [
+            pf_line
+            for pf_line in self.prefetcher.observe(line)
+            if pf_line >= 0 and not self.llc.contains(pf_line)
+        ]
+
+    def fill_prefetched(self, line: int) -> list[int]:
+        """Install an issued prefetch into the LLC; returns writebacks."""
+        writebacks: list[int] = []
+        self._fill_llc(line, dirty=False, writebacks=writebacks)
+        return writebacks

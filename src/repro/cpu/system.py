@@ -1,0 +1,389 @@
+"""Multi-core closed-loop simulation driver.
+
+Couples N :class:`IntervalCore` instances (sharing one LLC) with one
+memory controller in a discrete-event loop: the controller only ever runs
+up to the earliest runnable core's local time, so request arrival order
+is consistent, and when every core is blocked on memory the controller
+runs ahead to the next read completion (the same loose synchronization
+the paper's Sniper setup uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.core import (
+    AT_BARRIER,
+    BLOCKED,
+    CoreConfig,
+    FINISHED,
+    IntervalCore,
+    OutstandingLoad,
+    RUNNING,
+)
+from repro.cpu.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
+from repro.dram.commands import Request, RequestType
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.errors import ConfigurationError, ReproError
+from repro.stacks.bandwidth import BandwidthStackAccountant
+from repro.stacks.components import Stack, StackSeries
+from repro.stacks.cycle import CycleStackBuilder
+from repro.stacks.latency import LatencyStackAccountant
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Whole-system configuration (paper defaults)."""
+
+    cores: int = 1
+    core: CoreConfig = field(default_factory=CoreConfig)
+    hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
+    memory: ControllerConfig = field(default_factory=ControllerConfig)
+    quantum: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigurationError("need at least one core")
+        if self.quantum < 1:
+            raise ConfigurationError("quantum must be >= 1 cycle")
+
+
+class CpuSystem:
+    """N cores + shared LLC + one memory controller, co-simulated."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.memory = MemoryController(self.config.memory)
+        self.llc = self.config.hierarchy.make_llc()
+        cycle_ns = self.memory.spec.cycle_ns
+        self.cores = [
+            IntervalCore(
+                core_id=i,
+                config=self.config.core,
+                hierarchy=CacheHierarchy(self.config.hierarchy, self.llc),
+                memory=self,
+                cycle_ns=cycle_ns,
+            )
+            for i in range(self.config.cores)
+        ]
+        self._line_bytes = self.memory.spec.organization.line_bytes
+        #: DRAM reads in flight, by line number. Demand accesses to these
+        #: lines wait for the existing request instead of re-fetching.
+        self._pending_lines: dict[int, Request] = {}
+        # Outstanding DRAM reads per core (demand + prefetch): models the
+        # L2 miss buffer that bounds each core's memory-level parallelism.
+        self._dram_inflight = [0] * self.config.cores
+
+    # ------------------------------------------------------------------
+    # Memory interface used by the cores
+    # ------------------------------------------------------------------
+    def cache_access(
+        self, core: IntervalCore, line: int, is_write: bool
+    ) -> tuple[AccessResult, Request | None]:
+        """Access the core's hierarchy; detect in-flight fills.
+
+        Returns the cache result plus, when the line is still on its way
+        from DRAM, the request to wait on.
+        """
+        result = core.hierarchy.access(line, is_write)
+        if result.level in ("llc", "mem"):
+            pending = self._pending_lines.get(line)
+            if pending is not None:
+                return result, pending
+        return result, None
+
+    def attach_waiter(
+        self, request: Request, core: IntervalCore, load: OutstandingLoad
+    ) -> None:
+        """Register another load waiting on an in-flight DRAM read."""
+        request.meta.append((core, load))
+
+    def issue_read(
+        self,
+        core: IntervalCore,
+        load: OutstandingLoad,
+        line: int,
+        t: float,
+        is_prefetch: bool,
+    ) -> Request:
+        """Issue a demand DRAM read for a core's load."""
+        request = Request(
+            RequestType.READ,
+            line * self._line_bytes,
+            arrival=self._arrival(t),
+            core_id=core.core_id,
+            is_prefetch=is_prefetch,
+            meta=[(core, load)],
+        )
+        self._pending_lines[line] = request
+        self._dram_inflight[core.core_id] += 1
+        self.memory.enqueue(request)
+        return request
+
+    def issue_prefetches(
+        self, core: IntervalCore, lines: list[int], t: float
+    ) -> None:
+        """Issue prefetch reads (dropped at the in-flight cap)."""
+        cap = self.config.core.dram_inflight_cap
+        for line in lines:
+            if line in self._pending_lines:
+                continue
+            if self._dram_inflight[core.core_id] >= cap:
+                break  # L2 miss buffer full: drop the prefetch
+            request = Request(
+                RequestType.READ,
+                line * self._line_bytes,
+                arrival=self._arrival(t),
+                core_id=core.core_id,
+                is_prefetch=True,
+                meta=[],
+            )
+            self._pending_lines[line] = request
+            self._dram_inflight[core.core_id] += 1
+            self.memory.enqueue(request)
+            self.issue_writebacks(
+                core, core.hierarchy.fill_prefetched(line), t
+            )
+
+    def issue_writebacks(
+        self, core: IntervalCore, lines: list[int], t: float
+    ) -> None:
+        """Issue DRAM writes for dirty LLC victims."""
+        for line in lines:
+            self.memory.enqueue(Request(
+                RequestType.WRITE,
+                line * self._line_bytes,
+                arrival=self._arrival(t),
+                core_id=core.core_id,
+            ))
+
+    def _arrival(self, t: float) -> int:
+        arrival = int(t) + self.config.core.noc_request_cycles
+        return max(arrival, self.memory.now)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self, traces, max_cycles: int | None = None
+    ) -> "SimulationResult":
+        """Run every core's trace to completion (or `max_cycles`)."""
+        traces = list(traces)
+        if len(traces) != len(self.cores):
+            raise ConfigurationError(
+                f"{len(traces)} traces for {len(self.cores)} cores"
+            )
+        for core, trace in zip(self.cores, traces):
+            core.set_trace(trace)
+
+        while True:
+            if max_cycles is not None and self._min_core_time() > max_cycles:
+                break
+            runnable = [c for c in self.cores if c.state == RUNNING]
+            if runnable:
+                self._step_runnable(runnable)
+                continue
+            blocked = [c for c in self.cores if c.state == BLOCKED]
+            if blocked:
+                self._advance_memory_for(blocked)
+                continue
+            waiting = [c for c in self.cores if c.state == AT_BARRIER]
+            if waiting:
+                self._release_barrier(waiting)
+                continue
+            break  # everyone finished
+
+        return self._finalize(max_cycles)
+
+    def _min_core_time(self) -> float:
+        active = [c.t for c in self.cores if c.state != FINISHED]
+        return min(active) if active else max(c.t for c in self.cores)
+
+    def _step_runnable(self, runnable: list[IntervalCore]) -> None:
+        core = min(runnable, key=lambda c: c.t)
+        self._deliver(self.memory.run_until(int(core.t)))
+        # A delivery may have woken a core with an earlier local time.
+        candidates = [c for c in self.cores if c.state == RUNNING]
+        core = min(candidates, key=lambda c: c.t)
+        core.advance(self.config.quantum)
+
+    def _advance_memory_for(self, blocked: list[IntervalCore]) -> None:
+        if self.memory.pending_requests == 0:
+            raise ReproError(
+                "deadlock: cores blocked on memory with nothing pending"
+            )
+        done = self.memory.run_until_next_read()
+        if not done and self.memory.pending_requests == 0:
+            raise ReproError("memory drained without unblocking any core")
+        self._deliver(done)
+
+    def _deliver(self, completed: list[Request]) -> None:
+        for request in completed:
+            if request.is_read:
+                line = request.address // self._line_bytes
+                if self._pending_lines.get(line) is request:
+                    del self._pending_lines[line]
+                    self._dram_inflight[request.core_id] -= 1
+            if not request.meta:
+                continue
+            for core, load in request.meta:
+                core.complete_request(load, request)
+
+    def _release_barrier(self, waiting: list[IntervalCore]) -> None:
+        release = max(c.t for c in waiting)
+        for core in waiting:
+            core.finish_barrier(release)
+
+    def _finalize(self, max_cycles: int | None) -> "SimulationResult":
+        self.memory.drain()
+        self.memory.finalize()
+        end = max(
+            self.memory.now,
+            int(max(c.t for c in self.cores)) + 1,
+        )
+        if max_cycles is not None:
+            end = min(end, max_cycles)
+        for core in self.cores:
+            if core.t < end:
+                core.account_idle_until(end)
+        return SimulationResult(self, end)
+
+
+class SimulationResult:
+    """Everything measured in one simulation, with stack constructors."""
+
+    def __init__(self, system: CpuSystem, total_cycles: int) -> None:
+        self.system = system
+        self.memory = system.memory
+        self.total_cycles = max(total_cycles, 1)
+        self.spec = system.memory.spec
+
+    # ------------------------------------------------------------------
+    @property
+    def base_controller_cycles(self) -> int:
+        """Fixed NoC round-trip cycles added to reads."""
+        core = self.system.config.core
+        return core.noc_request_cycles + core.noc_response_cycles
+
+    @property
+    def runtime_ms(self) -> float:
+        """Simulated wall-clock time in milliseconds."""
+        return self.total_cycles * self.spec.cycle_ns / 1e6
+
+    @property
+    def achieved_bandwidth_gbps(self) -> float:
+        """Read+write bandwidth actually used."""
+        stack = self.bandwidth_stack()
+        return stack["read"] + stack["write"]
+
+    @property
+    def instructions(self) -> int:
+        """Instructions executed across all cores."""
+        return sum(c.stats.instructions for c in self.system.cores)
+
+    @property
+    def dram_reads(self) -> int:
+        """DRAM read requests completed."""
+        return self.memory.stats.reads_completed
+
+    @property
+    def dram_writes(self) -> int:
+        """DRAM write requests completed."""
+        return self.memory.stats.writes_completed
+
+    # ------------------------------------------------------------------
+    def bandwidth_stack(self, label: str = "") -> Stack:
+        """Aggregate bandwidth stack (GB/s, sums to peak)."""
+        acct = BandwidthStackAccountant(self.spec)
+        return acct.account(self.memory.log, self.total_cycles, label)
+
+    def bandwidth_series(self, bin_cycles: int, label: str = "") -> StackSeries:
+        """Through-time bandwidth stacks."""
+        acct = BandwidthStackAccountant(self.spec)
+        return acct.account_series(
+            self.memory.log, self.total_cycles, bin_cycles, label
+        )
+
+    def latency_stack(self, label: str = "", split_base: bool = False) -> Stack:
+        """Average read-latency stack in nanoseconds."""
+        acct = LatencyStackAccountant(
+            self.spec, self.base_controller_cycles, split_base
+        )
+        return acct.account(
+            self.memory.completed_requests,
+            self.memory.log.refresh_windows,
+            self.memory.log.drain_windows,
+            label,
+        )
+
+    def latency_series(
+        self, bin_cycles: int, label: str = "", split_base: bool = False
+    ) -> StackSeries:
+        """Through-time latency stacks."""
+        acct = LatencyStackAccountant(
+            self.spec, self.base_controller_cycles, split_base
+        )
+        return acct.account_series(
+            self.memory.completed_requests,
+            self.memory.log.refresh_windows,
+            self.memory.log.drain_windows,
+            self.total_cycles,
+            bin_cycles,
+            label,
+        )
+
+    def per_core_latency_stacks(
+        self, split_base: bool = False
+    ) -> dict[int, Stack]:
+        """One latency stack per core, over that core's DRAM reads."""
+        acct = LatencyStackAccountant(
+            self.spec, self.base_controller_cycles, split_base
+        )
+        by_core: dict[int, list] = {}
+        for request in self.memory.completed_requests:
+            if request.is_read and not request.forwarded:
+                by_core.setdefault(request.core_id, []).append(request)
+        return {
+            core: acct.account(
+                reads,
+                self.memory.log.refresh_windows,
+                self.memory.log.drain_windows,
+                label=f"core {core}",
+            )
+            for core, reads in sorted(by_core.items())
+        }
+
+    def per_core_bandwidth(self) -> dict[int, dict[str, float]]:
+        """Achieved read/write GB/s per core (prefetch and writebacks
+        count toward the core that caused them)."""
+        acct = BandwidthStackAccountant(self.spec)
+        return acct.per_core_achieved(self.memory.log, self.total_cycles)
+
+    def cycle_stack(self, label: str = "") -> Stack:
+        """Merged CPI-style cycle stack over all cores."""
+        return CycleStackBuilder.merge(
+            [c.cycle_stack for c in self.system.cores], label
+        )
+
+    def cycle_series(
+        self, label: str = "", bin_cycles: int | None = None
+    ) -> StackSeries:
+        """Through-time cycle stacks (re-binnable)."""
+        base = self.system.config.core.cycle_stack_bin
+        group = 1 if bin_cycles is None else max(1, bin_cycles // base)
+        return CycleStackBuilder.merge_series(
+            [c.cycle_stack for c in self.system.cores], label, group
+        )
+
+    def summary(self) -> dict:
+        """Headline numbers for reports and tests."""
+        return {
+            "cores": len(self.system.cores),
+            "total_cycles": self.total_cycles,
+            "runtime_ms": self.runtime_ms,
+            "achieved_gbps": self.achieved_bandwidth_gbps,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "page_hit_rate": self.memory.stats.page_hit_rate,
+            "instructions": self.instructions,
+        }

@@ -1,0 +1,617 @@
+"""Event-driven DRAM memory controller.
+
+The controller advances in *decisions*, not cycles: at each step it finds
+the earliest-issuable command among the scheduling candidates, jumps
+directly to that cycle, and issues it. This is the paper's "account
+multiple cycles in one step" approach — the complete channel timeline
+(data bursts, precharge/activate windows, refresh windows, blocked
+intervals with their binding constraint) is recorded in an event log that
+the stack accountants in :mod:`repro.stacks` consume.
+
+Features modeled: FR-FCFS and FCFS scheduling, open and closed page
+policies, a watermark-drained write buffer with read forwarding, all-bank
+refresh at tREFI, and the full DDR4 bank/bank-group/rank timing protocol.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.dram.address import AddressMapping
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandType, Request, RequestType
+from repro.dram.rank import Block, BlockScope, RankTiming, SharedBus
+from repro.dram.scheduler import SCHEDULING_POLICIES, QueuedRequest, RequestQueue
+from repro.dram.timing import DDR4_2400, TimingSpec
+from repro.dram.wqueue import WriteBuffer, WriteQueueConfig
+from repro.errors import ConfigurationError
+
+PAGE_POLICIES = ("open", "closed")
+
+#: Sentinel "infinitely far in the future" time.
+FAR_FUTURE = 1 << 62
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Configuration of one memory controller / channel.
+
+    Attributes:
+        spec: DRAM timing specification (default: the paper's DDR4-2400).
+        address_scheme: ``"default"`` or ``"interleaved"`` (Fig. 5).
+        page_policy: ``"open"`` keeps rows open until a conflict;
+            ``"closed"`` precharges a bank as soon as no pending request
+            targets its open row.
+        scheduling: ``"fr-fcfs"`` (paper) or ``"fcfs"``.
+        write_queue: write-buffer sizing and watermarks.
+        read_forwarding: serve reads that hit a buffered write directly
+            from the write buffer.
+        forward_latency: cycles for a forwarded read.
+        keep_command_trace: record every DRAM command (off by default;
+            the stack accounting does not need it, but the offline trace
+            tooling in :mod:`repro.trace` does).
+        refresh_enabled: set False to disable refresh (ablation).
+        starvation_cap: FR-FCFS reordering bound — a request older than
+            this many cycles beats younger row hits to its bank.
+    """
+
+    spec: TimingSpec = DDR4_2400
+    address_scheme: str = "default"
+    page_policy: str = "open"
+    scheduling: str = "fr-fcfs"
+    starvation_cap: int = 1500
+    write_queue: WriteQueueConfig = field(default_factory=WriteQueueConfig)
+    read_forwarding: bool = True
+    forward_latency: int = 4
+    keep_command_trace: bool = False
+    refresh_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.page_policy not in PAGE_POLICIES:
+            raise ConfigurationError(
+                f"unknown page policy {self.page_policy!r}; "
+                f"expected one of {PAGE_POLICIES}"
+            )
+        if self.scheduling not in SCHEDULING_POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduling policy {self.scheduling!r}; "
+                f"expected one of {SCHEDULING_POLICIES}"
+            )
+
+    def make_mapping(self) -> AddressMapping:
+        """Build the configured address mapping."""
+        return AddressMapping.from_name(
+            self.address_scheme, self.spec.organization
+        )
+
+
+@dataclass
+class EventLog:
+    """Channel timeline recorded during simulation.
+
+    All windows are half-open cycle intervals ``[start, end)``. Bank
+    indices are flat (bank_group * banks_per_group + bank).
+    """
+
+    #: Data-bus bursts: (start, end, is_write, core_id).
+    bursts: list = field(default_factory=list)
+    #: Precharge windows: (start, end, flat_bank).
+    pre_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Activate windows: (start, end, flat_bank).
+    act_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: CAS service windows (issue to data end): (start, end, flat_bank).
+    cas_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Refresh windows: (start, end).
+    refresh_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Blocked-with-pending-work intervals:
+    #: (start, end, BlockScope, bank_group, reason).
+    blocked: list[tuple[int, int, BlockScope, int, str]] = field(
+        default_factory=list
+    )
+    #: Forced write-drain windows: (start, end); shared with WriteBuffer.
+    drain_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Optional full command trace.
+    commands: list[Command] = field(default_factory=list)
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate counters, available at any point during simulation."""
+
+    reads_enqueued: int = 0
+    writes_enqueued: int = 0
+    reads_completed: int = 0
+    writes_completed: int = 0
+    reads_forwarded: int = 0
+    activates: int = 0
+    precharges: int = 0
+    refreshes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    @property
+    def page_hit_rate(self) -> float:
+        """Row hits over all CAS operations."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+class MemoryController:
+    """One memory channel: request queues, scheduler and DRAM state.
+
+    Typical use::
+
+        mc = MemoryController(ControllerConfig())
+        mc.enqueue(Request(RequestType.READ, 0x1000, arrival=0))
+        completed = mc.run_until(10_000)
+
+    Co-simulation drivers interleave :meth:`enqueue` and :meth:`run_until`;
+    trace-driven runs enqueue everything and call :meth:`drain`.
+    """
+
+    def __init__(self, config: ControllerConfig | None = None) -> None:
+        self.config = config or ControllerConfig()
+        self.spec = self.config.spec
+        org = self.spec.organization
+        self.mapping = self.config.make_mapping()
+        self.num_banks = org.total_banks
+
+        self.log = EventLog()
+        self.stats = ControllerStats()
+        self._banks = [
+            Bank(
+                self.spec,
+                bank_group=(i % org.banks) // org.banks_per_group,
+                bank=i % org.banks_per_group,
+                pre_windows=self.log.pre_windows,
+                act_windows=self.log.act_windows,
+                flat_index=i,
+            )
+            for i in range(self.num_banks)
+        ]
+        bus = SharedBus()
+        self._ranks = [
+            RankTiming(self.spec, rank_id=r, bus=bus)
+            for r in range(org.ranks)
+        ]
+        self._bus = bus
+        self._read_queue = RequestQueue(self.num_banks)
+        self._write_buffer = WriteBuffer(self.config.write_queue, self.num_banks)
+        self.log.drain_windows = self._write_buffer.drain_windows
+
+        self.now = 0
+        self._last_cmd_issue = -1
+        self._arrivals: list[tuple[int, int, Request]] = []  # heap
+        self._in_flight: list[tuple[int, int, Request]] = []  # heap by finish
+        self._completions: list[Request] = []
+        self.completed_requests: list[Request] = []
+
+        self._next_refresh_due = (
+            self.spec.tREFI if self.config.refresh_enabled else FAR_FUTURE
+        )
+        self._refresh_until = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request) -> None:
+        """Accept a request; its ``arrival`` must be >= the current time."""
+        if request.arrival < self.now:
+            raise ConfigurationError(
+                f"request arrives at {request.arrival} but controller time "
+                f"is already {self.now}"
+            )
+        if request.is_read:
+            self.stats.reads_enqueued += 1
+        else:
+            self.stats.writes_enqueued += 1
+        heapq.heappush(
+            self._arrivals, (request.arrival, request.req_id, request)
+        )
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests not yet completed (queued, buffered or in flight)."""
+        return (
+            len(self._arrivals)
+            + len(self._read_queue)
+            + len(self._write_buffer)
+            + len(self._in_flight)
+        )
+
+    def run_until(self, t_limit: int) -> list[Request]:
+        """Advance to `t_limit`; return requests completed on the way."""
+        self._run(t_limit, stop_on_read=False)
+        return self._take_completions()
+
+    def run_until_next_read(self, t_limit: int = FAR_FUTURE) -> list[Request]:
+        """Advance until a read completes (or `t_limit`); return completions.
+
+        Returns immediately when no read is pending (otherwise an
+        unbounded call would spin on refresh cycles forever).
+        """
+        self._run(t_limit, stop_on_read=True)
+        return self._take_completions()
+
+    @property
+    def pending_reads(self) -> int:
+        """Reads accepted but not yet completed."""
+        return self.stats.reads_enqueued - self.stats.reads_completed
+
+    def drain(self, t_limit: int = FAR_FUTURE) -> list[Request]:
+        """Run until every pending request has completed."""
+        while self.pending_requests and self.now < t_limit:
+            self._run_one_step(t_limit)
+        self._collect_finished(self.now)
+        return self._take_completions()
+
+    def finalize(self) -> None:
+        """Close open accounting windows at the end of a simulation."""
+        self._write_buffer.finalize(self.now)
+
+    @property
+    def banks(self) -> list[Bank]:
+        """The per-bank state machines (flat order)."""
+        return self._banks
+
+    @property
+    def write_buffer_occupancy(self) -> int:
+        """Writes currently buffered."""
+        return len(self._write_buffer)
+
+    # ------------------------------------------------------------------
+    # Engine
+    # ------------------------------------------------------------------
+    def _take_completions(self) -> list[Request]:
+        done, self._completions = self._completions, []
+        return done
+
+    def _collect_finished(self, t: int) -> None:
+        """Pop in-flight requests whose data has arrived by cycle t."""
+        while self._in_flight and self._in_flight[0][0] <= t:
+            __, __, req = heapq.heappop(self._in_flight)
+            self._finish_request(req)
+
+    def _finish_request(self, req: Request) -> None:
+        self._completions.append(req)
+        self.completed_requests.append(req)
+        if req.is_read:
+            self.stats.reads_completed += 1
+        else:
+            self.stats.writes_completed += 1
+
+    def _admit_arrivals(self) -> None:
+        """Move requests whose arrival time has come into the queues."""
+        while self._arrivals and self._arrivals[0][0] <= self.now:
+            __, __, req = heapq.heappop(self._arrivals)
+            coords = self.mapping.decode(req.address)
+            flat = self.mapping.flat_bank_index(coords)
+            if req.is_read:
+                if self.config.read_forwarding and self._write_buffer.holds_address(
+                    self.mapping.line_address(req.address)
+                ):
+                    req.forwarded = True
+                    req.finish = req.arrival + self.config.forward_latency
+                    req.cas_issue = req.arrival
+                    req.data_start = req.finish
+                    self._write_buffer.note_forwarded_read()
+                    self.stats.reads_forwarded += 1
+                    heapq.heappush(
+                        self._in_flight, (req.finish, req.req_id, req)
+                    )
+                    continue
+                bank = self._banks[flat]
+                req.row_open_on_arrival = bank.open_row == coords.row
+                self._read_queue.add(req, coords, flat)
+            else:
+                self._write_buffer.add(req, coords, flat)
+
+    def _run(self, t_limit: int, stop_on_read: bool) -> None:
+        while self.now < t_limit:
+            if stop_on_read and self.pending_reads == 0:
+                break
+            before = self.stats.reads_completed
+            advanced = self._run_one_step(t_limit)
+            if stop_on_read and self.stats.reads_completed > before:
+                break
+            if not advanced:
+                break
+        if self.now > t_limit:
+            self.now = t_limit
+        self._collect_finished(self.now)
+
+    def _next_arrival_after(self, t: int) -> int:
+        return self._arrivals[0][0] if self._arrivals else FAR_FUTURE
+
+    def _advance_to(self, t: int, t_limit: int) -> bool:
+        """Jump time forward, delivering completions on the way."""
+        target = min(t, t_limit)
+        if target <= self.now:
+            return False
+        self._collect_finished(target)
+        self.now = target
+        return True
+
+    def _run_one_step(self, t_limit: int) -> bool:
+        """Issue one command or advance time once. Returns False when
+        nothing can happen before `t_limit` (caller should stop)."""
+        self._admit_arrivals()
+        self._collect_finished(self.now)
+
+        # 1. Refresh in progress: nothing can issue.
+        if self.now < self._refresh_until:
+            return self._advance_to(self._refresh_until, t_limit)
+
+        # 2. Refresh due: precharge all and refresh.
+        if self.now >= self._next_refresh_due:
+            self._do_refresh()
+            return True
+
+        # 3. Scheduling candidates.
+        reads_pending = bool(self._read_queue)
+        write_mode = self._write_buffer.update_drain_mode(
+            self.now, reads_pending
+        )
+        queue = self._write_buffer.queue if write_mode else self._read_queue
+        open_rows = [b.open_row for b in self._banks]
+        entries = queue.candidates(
+            open_rows, self.config.scheduling, self.now,
+            self.config.starvation_cap,
+        )
+
+        best: tuple | None = None
+        for entry in entries:
+            cand = self._plan_entry(entry, write_mode)
+            if best is None or cand[0] < best[0]:
+                best = cand
+        if self.config.page_policy == "closed":
+            for cand in self._plan_policy_precharges(open_rows):
+                if best is None or cand[0] < best[0]:
+                    best = cand
+
+        next_arrival = self._next_arrival_after(self.now)
+        if best is None:
+            # Nothing schedulable. Either data is in flight (pipeline
+            # draining — a channel-scope constraint) or truly idle.
+            wake = min(next_arrival, self._next_refresh_due)
+            if self._in_flight:
+                wake = min(wake, self._in_flight[0][0])
+                end = min(wake, t_limit)
+                if end > self.now:
+                    self.log.blocked.append(
+                        (self.now, end, BlockScope.CHANNEL, -1, "data_inflight")
+                    )
+            return self._advance_to(wake, t_limit)
+
+        (key, entry, cmd_type, coords) = best
+        issue_at = key[0]
+        if issue_at > self.now:
+            # Blocked: record why, then advance (arrivals or refresh may
+            # preempt the wait).
+            end = min(issue_at, next_arrival, self._next_refresh_due, t_limit)
+            if end > self.now:
+                block = self._block_info(entry, cmd_type, coords, issue_at)
+                bg = coords.bank_group if coords is not None else -1
+                self.log.blocked.append(
+                    (self.now, end, block.scope, bg, block.reason)
+                )
+            return self._advance_to(
+                min(issue_at, next_arrival, self._next_refresh_due), t_limit
+            )
+
+        self._issue(entry, cmd_type, coords, write_mode)
+        return True
+
+    # ------------------------------------------------------------------
+    def _plan_entry(self, entry: QueuedRequest, write_mode: bool) -> tuple:
+        """Compute (sort_key, entry, command, coords) for a request.
+
+        The sort key orders candidates by earliest issue time, then prefers
+        data-moving commands and row hits (FR-FCFS), then age. Binding-
+        constraint details are derived lazily by :meth:`_block_info` only
+        when the chosen candidate actually has to wait.
+        """
+        bank = self._banks[entry.flat_bank]
+        coords = entry.coords
+        rank = self._ranks[coords.rank]
+        now = self.now
+        min_cmd_time = self._last_cmd_issue + 1
+        if bank.open_row == coords.row:
+            is_write = entry.request.is_write
+            time = rank.earliest_cas_time(
+                now, coords.bank_group, is_write
+            )
+            if bank.next_cas > time:
+                time = bank.next_cas
+            kind = CommandType.WRITE if is_write else CommandType.READ
+            priority = 0
+        elif bank.open_row is None:
+            time = rank.earliest_act_time(now, coords.bank_group)
+            if bank.next_act > time:
+                time = bank.next_act
+            kind = CommandType.ACTIVATE
+            priority = 1
+        else:
+            time = bank.next_pre if bank.next_pre > now else now
+            kind = CommandType.PRECHARGE
+            priority = 2
+        if min_cmd_time > time:
+            time = min_cmd_time
+        return ((time, priority, entry.arrival_order), entry, kind, coords)
+
+    def _block_info(
+        self, entry, cmd_type: CommandType, coords, issue_at: int
+    ) -> Block:
+        """Binding constraint for a candidate that must wait."""
+        if entry is None:
+            return Block(issue_at, BlockScope.BANK, "auto_precharge")
+        bank = self._banks[entry.flat_bank]
+        if cmd_type is CommandType.PRECHARGE:
+            return Block(issue_at, BlockScope.BANK, "tRAS/tWR/tRTP")
+        rank = self._ranks[coords.rank]
+        if cmd_type is CommandType.ACTIVATE:
+            if bank.next_act >= issue_at:
+                return Block(issue_at, BlockScope.BANK, "tRP")
+            return rank.earliest_act(self.now, coords.bank_group)
+        if bank.next_cas >= issue_at:
+            return Block(issue_at, BlockScope.BANK, "tRCD")
+        return rank.earliest_cas(
+            self.now, coords.bank_group, entry.request.is_write
+        )
+
+    def _plan_policy_precharges(self, open_rows: list[int | None]) -> list[tuple]:
+        """Closed-page policy: precharge banks whose open row has no
+        pending requests. Returns candidates shaped like _plan_entry's."""
+        result = []
+        min_cmd_time = self._last_cmd_issue + 1
+        for flat, row in enumerate(open_rows):
+            if row is None:
+                continue
+            if self._read_queue.has_request_for_row(flat, row):
+                continue
+            if self._write_buffer.queue.has_request_for_row(flat, row):
+                continue
+            bank = self._banks[flat]
+            time = max(self.now, bank.next_pre, min_cmd_time)
+            # Priority 3: never displaces a data command ready at the
+            # same cycle.
+            key = (time, 3, flat)
+            rank = flat // self.spec.organization.banks
+            result.append((
+                key, None, CommandType.PRECHARGE,
+                _BankCoords(flat, bank, rank),
+            ))
+        return result
+
+    # ------------------------------------------------------------------
+    def _issue(
+        self,
+        entry: QueuedRequest | None,
+        cmd_type: CommandType,
+        coords,
+        write_mode: bool,
+    ) -> None:
+        """Issue `cmd_type` at the current cycle."""
+        t = self.now
+        self._last_cmd_issue = t
+        if entry is None:
+            # Policy precharge: nothing is waiting for this bank.
+            bank = coords.bank
+            bank.do_precharge(t, record=False)
+            self.stats.precharges += 1
+            self._record_command(
+                cmd_type, t, coords.bank_group, bank, rank=coords.rank
+            )
+            return
+
+        bank = self._banks[entry.flat_bank]
+        req = entry.request
+        if cmd_type is CommandType.PRECHARGE:
+            bank.do_precharge(t)
+            self.stats.precharges += 1
+            if req.own_pre_start < 0:
+                req.own_pre_start = t
+                req.own_pre_end = t + self.spec.tRP
+        elif cmd_type is CommandType.ACTIVATE:
+            bank.do_activate(t, coords.row)
+            self._ranks[coords.rank].record_act(t, coords.bank_group)
+            self.stats.activates += 1
+            if req.own_act_start < 0:
+                req.own_act_start = t
+                req.own_act_end = t + self.spec.tRCD
+        else:  # READ / WRITE
+            is_write = cmd_type is CommandType.WRITE
+            # A CAS is always a row-buffer hit at issue time; the
+            # hit/miss statistic refers to whether the request found the
+            # row open (and so needed no pre/act of its own).
+            needed_pre_act = req.own_act_start >= 0 or req.own_pre_start >= 0
+            effective_hit = not needed_pre_act
+            data_start, data_end = self._ranks[coords.rank].record_cas(
+                t, coords.bank_group, is_write
+            )
+            bank.do_cas(t, is_write, effective_hit)
+            if effective_hit:
+                self.stats.row_hits += 1
+            else:
+                self.stats.row_misses += 1
+            req.cas_issue = t
+            req.data_start = data_start
+            req.finish = data_end
+            req.row_hit = effective_hit
+            self.log.bursts.append(
+                (data_start, data_end, is_write, req.core_id)
+            )
+            self.log.cas_windows.append((t, data_end, entry.flat_bank))
+            if write_mode:
+                self._write_buffer.complete(entry)
+            else:
+                self._read_queue.mark_served(entry)
+            heapq.heappush(self._in_flight, (data_end, req.req_id, req))
+        self._record_command(
+            cmd_type, t, coords.bank_group,
+            bank, row=coords.row, req_id=req.req_id, rank=coords.rank,
+        )
+
+    def _record_command(
+        self, cmd_type: CommandType, t: int, bank_group: int, bank: Bank,
+        row: int = -1, req_id: int = -1, rank: int = 0,
+    ) -> None:
+        if not self.config.keep_command_trace:
+            return
+        self.log.commands.append(Command(
+            cmd_type=cmd_type,
+            issue=t,
+            rank=rank,
+            bank_group=bank_group,
+            bank=bank.bank,
+            row=row,
+            req_id=req_id,
+        ))
+
+    def _do_refresh(self) -> None:
+        """Precharge all banks and hold the rank in refresh for tRFC."""
+        spec = self.spec
+        t_ready = self.now
+        any_open = False
+        for bank in self._banks:
+            t_ready = max(t_ready, bank.cas_data_until)
+            if bank.is_open:
+                any_open = True
+                t_ready = max(t_ready, bank.next_pre)
+        t_ready = max(t_ready, self._bus.free_at)
+        if any_open:
+            t_pre = t_ready
+            for bank in self._banks:
+                if bank.is_open:
+                    bank.do_precharge(t_pre)
+                    self.stats.precharges += 1
+            self._record_command(
+                CommandType.PRECHARGE_ALL, t_pre, -1, self._banks[0]
+            )
+            t_ref = t_pre + spec.tRP
+        else:
+            t_ref = t_ready
+        refresh_end = t_ref + spec.tRFC
+        self.log.refresh_windows.append((t_ref, refresh_end))
+        for bank in self._banks:
+            bank.next_act = max(bank.next_act, refresh_end)
+            bank.force_close_for_refresh()
+        self._refresh_until = refresh_end
+        self._next_refresh_due += spec.tREFI
+        self.stats.refreshes += 1
+        self._record_command(
+            CommandType.REFRESH, t_ref, -1, self._banks[0]
+        )
+        # The implicit precharge-all ahead of REF is part of the refresh
+        # sequence; its per-bank timing was applied above.
+
+
+class _BankCoords:
+    """Adapter so policy-precharge candidates look like request candidates."""
+
+    def __init__(self, flat: int, bank: Bank, rank: int = 0) -> None:
+        self.bank_group = bank.bank_group
+        self.bank = bank
+        self.flat = flat
+        self.rank = rank

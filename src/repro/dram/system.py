@@ -1,0 +1,146 @@
+"""Multi-channel memory system.
+
+The paper builds one stack per memory controller/channel and aggregates
+afterwards (Sec. IV). :class:`MemorySystem` routes requests to channels by
+address (cache-line channel interleaving), exposes one combined clock, and
+aggregates per-channel stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Request
+from repro.dram.controller import ControllerConfig, MemoryController
+from repro.errors import ConfigurationError
+from repro.stacks.bandwidth import BandwidthStackAccountant
+from repro.stacks.components import Stack
+from repro.stacks.latency import LatencyStackAccountant
+
+
+@dataclass(frozen=True)
+class MemorySystemConfig:
+    """A memory system: `channels` identical controllers."""
+
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.channels & (self.channels - 1):
+            raise ConfigurationError(
+                f"channels must be a positive power of two, got {self.channels}"
+            )
+
+
+class MemorySystem:
+    """N interleaved memory channels behaving as one memory subsystem."""
+
+    def __init__(self, config: MemorySystemConfig | None = None) -> None:
+        self.config = config or MemorySystemConfig()
+        self.controllers = [
+            MemoryController(self.config.controller)
+            for _ in range(self.config.channels)
+        ]
+        self.spec = self.controllers[0].spec
+        line = self.spec.organization.line_bytes
+        self._channel_shift = line.bit_length() - 1
+        self._channel_mask = self.config.channels - 1
+
+    # ------------------------------------------------------------------
+    def channel_of(self, address: int) -> int:
+        """Channel an address maps to (cache-line interleaving)."""
+        return (address >> self._channel_shift) & self._channel_mask
+
+    def enqueue(self, request: Request) -> None:
+        """Route a request to its channel."""
+        self.controllers[self.channel_of(request.address)].enqueue(request)
+
+    @property
+    def now(self) -> int:
+        """The latest channel clock."""
+        return max(mc.now for mc in self.controllers)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests outstanding across all channels."""
+        return sum(mc.pending_requests for mc in self.controllers)
+
+    def run_until(self, t_limit: int) -> list[Request]:
+        """Advance every channel to `t_limit`; returns completions."""
+        done: list[Request] = []
+        for mc in self.controllers:
+            done.extend(mc.run_until(t_limit))
+        done.sort(key=lambda r: r.finish)
+        return done
+
+    def drain(self) -> list[Request]:
+        """Run all channels until empty; returns completions."""
+        done: list[Request] = []
+        for mc in self.controllers:
+            done.extend(mc.drain())
+        done.sort(key=lambda r: r.finish)
+        return done
+
+    def finalize(self) -> None:
+        """Close accounting windows on every channel."""
+        for mc in self.controllers:
+            mc.finalize()
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """System peak: channels x per-channel peak."""
+        return self.spec.peak_bandwidth_gbps * len(self.controllers)
+
+    # ------------------------------------------------------------------
+    def bandwidth_stack(self, total_cycles: int, label: str = "") -> Stack:
+        """Aggregate bandwidth stack: the sum of per-channel stacks.
+
+        The total equals the system peak (channels x per-channel peak).
+        """
+        accountant = BandwidthStackAccountant(self.spec)
+        stacks = [
+            accountant.account(mc.log, total_cycles, f"{label} ch{i}")
+            for i, mc in enumerate(self.controllers)
+        ]
+        combined = stacks[0]
+        for stack in stacks[1:]:
+            combined = combined + stack
+        combined.label = label
+        return combined
+
+    def per_channel_bandwidth_stacks(
+        self, total_cycles: int, label: str = ""
+    ) -> list[Stack]:
+        """One bandwidth stack per channel."""
+        accountant = BandwidthStackAccountant(self.spec)
+        return [
+            accountant.account(mc.log, total_cycles, f"{label} ch{i}")
+            for i, mc in enumerate(self.controllers)
+        ]
+
+    def latency_stack(
+        self, base_controller_cycles: int = 0, label: str = ""
+    ) -> Stack:
+        """Latency stack over the reads of all channels."""
+        accountant = LatencyStackAccountant(self.spec, base_controller_cycles)
+        stacks = []
+        weights = []
+        for mc in self.controllers:
+            reads = [
+                r for r in mc.completed_requests
+                if r.is_read and not r.is_prefetch and not r.forwarded
+            ]
+            if not reads:
+                continue
+            stacks.append(accountant.account(
+                reads, mc.log.refresh_windows, mc.log.drain_windows
+            ))
+            weights.append(len(reads))
+        if not stacks:
+            return accountant.account([], [], [], label)
+        total = sum(weights)
+        combined = stacks[0].scaled(weights[0] / total)
+        for stack, weight in zip(stacks[1:], weights[1:]):
+            combined = combined + stack.scaled(weight / total)
+        combined.label = label
+        return combined

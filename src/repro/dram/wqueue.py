@@ -1,0 +1,134 @@
+"""Write buffer with watermark-based burst draining.
+
+Writes are buffered in the memory controller so reads, which stall cores,
+can be prioritized. The buffer drains in bursts: a *forced* drain begins
+when occupancy reaches the high watermark and runs until the low watermark,
+during which reads are not scheduled (the paper's ``writeburst`` latency
+component). Writes are also issued *opportunistically* whenever no reads
+are pending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.address import Coordinates
+from repro.dram.commands import Request
+from repro.dram.scheduler import QueuedRequest, RequestQueue
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WriteQueueConfig:
+    """Write buffer sizing.
+
+    Attributes:
+        capacity: number of buffered writes (paper default 32; Fig. 8
+            evaluates 128).
+        high_watermark: occupancy fraction that triggers a forced drain.
+        low_watermark: occupancy fraction at which a forced drain stops.
+    """
+
+    capacity: int = 32
+    high_watermark: float = 0.8
+    low_watermark: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("write queue capacity must be >= 1")
+        if not 0.0 <= self.low_watermark < self.high_watermark <= 1.0:
+            raise ConfigurationError(
+                "watermarks must satisfy 0 <= low < high <= 1, got "
+                f"low={self.low_watermark} high={self.high_watermark}"
+            )
+
+    @property
+    def high_entries(self) -> int:
+        """Occupancy that triggers a forced drain."""
+        return max(1, int(self.capacity * self.high_watermark))
+
+    @property
+    def low_entries(self) -> int:
+        """Occupancy at which a forced drain stops."""
+        return int(self.capacity * self.low_watermark)
+
+
+class WriteBuffer:
+    """Buffered writes plus drain-mode state machine."""
+
+    def __init__(self, config: WriteQueueConfig, num_banks: int) -> None:
+        self.config = config
+        self.queue = RequestQueue(num_banks)
+        self._addresses: dict[int, int] = {}
+        self.draining = False
+        #: Completed forced-drain windows [(start, end)], for accounting.
+        self.drain_windows: list[tuple[int, int]] = []
+        self._drain_start = -1
+        self.stats_forced_drains = 0
+        self.stats_writes_buffered = 0
+        self.stats_forwarded_reads = 0
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the buffer is at capacity."""
+        return len(self.queue) >= self.config.capacity
+
+    def add(self, request: Request, coords: Coordinates, flat_bank: int) -> QueuedRequest:
+        """Buffer a write."""
+        entry = self.queue.add(request, coords, flat_bank)
+        line = request.address
+        self._addresses[line] = self._addresses.get(line, 0) + 1
+        self.stats_writes_buffered += 1
+        return entry
+
+    def complete(self, entry: QueuedRequest) -> None:
+        """A buffered write's CAS was issued; remove it."""
+        self.queue.mark_served(entry)
+        line = entry.request.address
+        count = self._addresses.get(line, 0) - 1
+        if count <= 0:
+            self._addresses.pop(line, None)
+        else:
+            self._addresses[line] = count
+
+    def holds_address(self, line_address: int) -> bool:
+        """Whether a buffered write matches `line_address` (read forwarding)."""
+        return line_address in self._addresses
+
+    def note_forwarded_read(self) -> None:
+        """Count a read served from the buffer."""
+        self.stats_forwarded_reads += 1
+
+    # ------------------------------------------------------------------
+    # Drain-mode state machine, consulted once per scheduling decision.
+    # ------------------------------------------------------------------
+    def update_drain_mode(self, now: int, reads_pending: bool) -> bool:
+        """Advance the drain state machine; returns True while draining.
+
+        A forced drain starts at the high watermark and ends at the low
+        watermark. The forced-drain window is recorded for the
+        ``writeburst`` latency attribution.
+        """
+        occupancy = len(self.queue)
+        if self.draining:
+            if occupancy <= self.config.low_entries:
+                self.draining = False
+                self.drain_windows.append((self._drain_start, now))
+                self._drain_start = -1
+        elif occupancy >= self.config.high_entries:
+            self.draining = True
+            self._drain_start = now
+            self.stats_forced_drains += 1
+        # Opportunistic: issue writes while no reads are pending, without
+        # entering (or recording) a forced drain.
+        return self.draining or (occupancy > 0 and not reads_pending)
+
+    def finalize(self, now: int) -> None:
+        """Close an in-progress drain window at end of simulation."""
+        if self.draining and self._drain_start >= 0:
+            self.drain_windows.append((self._drain_start, now))
+            self._drain_start = -1
+            self.draining = False

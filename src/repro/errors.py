@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+callers can catch one base class. Subclasses indicate which subsystem
+detected the problem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or component configuration is invalid or inconsistent."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command was issued before its timing constraints were met.
+
+    This is raised by the timing checkers in strict mode; it always
+    indicates a bug in the scheduler or controller, never a user error.
+    """
+
+
+class ProtocolError(ReproError):
+    """A DRAM command was illegal for the current bank/rank state.
+
+    For example: a READ to a bank with no open row, or an ACTIVATE to a
+    bank that already has an open row.
+    """
+
+
+class AccountingError(ReproError):
+    """Stack accounting produced an inconsistent result.
+
+    Raised when components would not sum to the total (double counting or
+    lost cycles), which the accounting mechanism is designed to prevent.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A stored command trace could not be parsed."""
+
+
+class WorkloadError(ReproError):
+    """A workload was asked to do something it cannot.
+
+    For example: a graph kernel invoked on an empty graph, or a synthetic
+    pattern with an impossible parameter combination.
+    """

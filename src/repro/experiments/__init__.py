@@ -1,0 +1,25 @@
+"""Paper experiments: one module per figure of the evaluation.
+
+Every module exposes ``run(scale="ci"|"paper") -> FigureResult`` which
+re-runs the experiment behind the corresponding paper figure and returns
+its stacks, plus ``main()`` which prints the figure's data as text and
+writes an SVG next to it. The ``ci`` scale is sized for test suites; the
+``paper`` scale runs longer simulations for smoother stacks (same
+qualitative results).
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, paper_system
+from repro.experiments.runner import FigureResult, run_gap, run_synthetic
+from repro.experiments.sweep import SweepPoint, grid, run_sweep
+
+__all__ = [
+    "ExperimentScale",
+    "FigureResult",
+    "SCALES",
+    "SweepPoint",
+    "grid",
+    "paper_system",
+    "run_gap",
+    "run_sweep",
+    "run_synthetic",
+]

@@ -1,0 +1,84 @@
+"""Experiment configuration: the paper's system and run scales."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import CoreConfig
+from repro.cpu.hierarchy import HierarchyConfig
+from repro.cpu.system import SystemConfig
+from repro.dram.controller import ControllerConfig
+from repro.dram.wqueue import WriteQueueConfig
+from repro.errors import ConfigurationError
+from repro.workloads.gap.suite import gap_hierarchy
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Run sizes for the experiments.
+
+    ``ci`` keeps every figure regenerable in seconds for the benchmark
+    suite; ``paper`` runs longer for smoother components.
+    """
+
+    name: str
+    synthetic_accesses: int = 5_000
+    graph_scale: int = 11
+    graph_degree: int = 8
+    pr_iterations: int = 1
+    tc_max_edges: int = 3_000
+    bin_cycles: int = 15_000
+
+
+SCALES = {
+    "ci": ExperimentScale("ci"),
+    "paper": ExperimentScale(
+        "paper",
+        synthetic_accesses=25_000,
+        graph_scale=14,
+        graph_degree=10,
+        pr_iterations=2,
+        tc_max_edges=12_000,
+        bin_cycles=60_000,
+    ),
+}
+
+
+def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Resolve a scale by name or pass one through."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[scale]
+
+
+def paper_system(
+    cores: int = 1,
+    page_policy: str = "open",
+    address_scheme: str = "default",
+    write_queue_capacity: int = 32,
+    gap: bool = False,
+    hierarchy: HierarchyConfig | None = None,
+    core: CoreConfig | None = None,
+) -> SystemConfig:
+    """The paper's setup: DDR4-2400, FR-FCFS, Skylake-like cores.
+
+    `gap=True` selects the proportionally scaled cache hierarchy used
+    with the scaled-down graphs (see :func:`gap_hierarchy`).
+    """
+    if hierarchy is None:
+        hierarchy = gap_hierarchy() if gap else HierarchyConfig()
+    memory = ControllerConfig(
+        page_policy=page_policy,
+        address_scheme=address_scheme,
+        write_queue=WriteQueueConfig(capacity=write_queue_capacity),
+    )
+    return SystemConfig(
+        cores=cores,
+        core=core if core is not None else CoreConfig(),
+        hierarchy=hierarchy,
+        memory=memory,
+    )

@@ -1,0 +1,50 @@
+"""Fig. 2: bandwidth and latency stacks, read-only sequential and random
+patterns on 1-8 cores.
+
+Paper findings this regenerates:
+
+* sequential bandwidth grows with core count until the peak (minus
+  refresh) is reached around 4 cores; queueing latency then explodes;
+* the sequential constraints/bank-idle components shrink as more cores
+  spread requests over bank groups;
+* random stays far below peak, shows precharge/activate components in
+  both stacks, a large bank-idle component without queueing at low core
+  counts, and sublinear scaling at 8 cores.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult, run_synthetic
+
+CORE_COUNTS = (1, 2, 4, 8)
+PATTERNS = ("sequential", "random")
+
+
+def run(scale: str = "ci") -> FigureResult:
+    """Regenerate this figure's data at the given scale."""
+    figure = FigureResult("fig2")
+    for pattern in PATTERNS:
+        for cores in CORE_COUNTS:
+            label = f"{pattern[:3]} {cores}c"
+            result = run_synthetic(pattern, cores=cores, scale=scale)
+            bandwidth = result.bandwidth_stack(label)
+            latency = result.latency_stack(label)
+            figure.bandwidth.append(bandwidth)
+            figure.latency.append(latency)
+    return figure
+
+
+def main(scale: str = "paper", output_dir: str = "results") -> FigureResult:
+    """Print the figure as tables and write SVGs to `output_dir`."""
+    figure = run(scale)
+    emit(
+        figure, output_dir,
+        title="Fig. 2: read-only sequential vs random, 1-8 cores",
+        bandwidth_max=figure.bandwidth[0].total,
+    )
+    return figure
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,68 @@
+"""Fig. 7: through-time cycle, bandwidth and latency stacks for bfs on
+8 cores.
+
+Direction-optimizing BFS has phases: top-down until the frontier grows
+large, then bottom-up, with a low-parallelism dip around the switch
+(most cores idle), visible as an idle spike in the cycle stack and a dip
+in the bandwidth stack. The dram components of the cycle stack correlate
+with the achieved-bandwidth and queue components of the memory stacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.config import get_scale
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult, run_gap
+
+CORES = 8
+
+#: Time-sample count to aim for (the paper's Fig. 7 has ~100 samples;
+#: two dozen are enough to see the phases).
+TARGET_BINS = 24
+
+
+def run(scale: str = "ci") -> FigureResult:
+    """Regenerate this figure's data at the given scale."""
+    scale_obj = get_scale(scale)
+    # The through-time view needs a longer run than the aggregate
+    # figures: use a larger graph at the same scale setting.
+    scale_obj = dataclasses.replace(
+        scale_obj, graph_scale=scale_obj.graph_scale + 2
+    )
+    figure = FigureResult("fig7")
+    result, workload = run_gap(
+        "bfs", cores=CORES, page_policy="closed", scale=scale_obj
+    )
+    bins = max(1000, result.total_cycles // TARGET_BINS)
+    bins = max(1000, result.total_cycles // TARGET_BINS)
+    figure.series["cycle"] = result.cycle_series("bfs 8c", bin_cycles=bins)
+    figure.series["bandwidth"] = result.bandwidth_series(bins, "bfs 8c")
+    figure.series["latency"] = result.latency_series(
+        bins, "bfs 8c", split_base=True
+    )
+    figure.bandwidth.append(result.bandwidth_stack("bfs 8c"))
+    figure.latency.append(result.latency_stack("bfs 8c", split_base=True))
+    figure.extra["steps"] = workload.kernel.steps
+    figure.extra["runtime_ms"] = result.runtime_ms
+    figure.extra["cycle_stack"] = result.cycle_stack("bfs 8c")
+    return figure
+
+
+def main(scale: str = "paper", output_dir: str = "results") -> FigureResult:
+    """Print the figure as tables and write SVGs to `output_dir`."""
+    figure = run(scale)
+    emit(
+        figure, output_dir,
+        title="Fig. 7: through-time stacks, bfs on 8 cores",
+    )
+    steps = figure.extra["steps"]
+    print("\nBFS direction schedule (level, direction, frontier):")
+    for step in steps:
+        print(f"  {step}")
+    return figure
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

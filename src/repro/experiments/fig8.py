@@ -1,0 +1,86 @@
+"""Fig. 8: latency-stack what-ifs for bfs (8 cores) and tc (1 core).
+
+* bfs, closed policy: default vs cache-line-interleaved indexing
+  (queue+writeburst shrink, pre/act grows, total about the same — the
+  page hit rate collapses) and a 128-entry write queue (writeburst
+  shrinks, queueing takes part of it back).
+* tc, closed policy: despite very low bandwidth there is a sizable
+  queueing component from sequential same-bank accesses; interleaved
+  indexing moves it into pre/act; the open policy is the real fix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult, run_gap
+from repro.workloads.gap.graph import kronecker_graph
+from repro.experiments.config import get_scale
+
+
+def run(scale: str = "ci") -> FigureResult:
+    """Regenerate this figure's data at the given scale."""
+    scale_obj = get_scale(scale)
+    # Same enlarged graph as Fig. 7 (it is the same bfs workload): the
+    # bigger footprint also produces the write traffic the write-queue
+    # comparison needs.
+    scale_obj = dataclasses.replace(
+        scale_obj, graph_scale=scale_obj.graph_scale + 2
+    )
+    figure = FigureResult("fig8")
+
+    # Shared graphs so the three bfs (two tc) runs see identical inputs.
+    bfs_graph = kronecker_graph(
+        scale_obj.graph_scale, degree=scale_obj.graph_degree, seed=42
+    )
+    tc_graph = kronecker_graph(
+        scale_obj.graph_scale, degree=scale_obj.graph_degree, seed=42
+    )
+
+    bfs_cases = (
+        ("bfs 8c def", dict(address_scheme="default")),
+        ("bfs 8c int", dict(address_scheme="interleaved")),
+        ("bfs 8c wq128", dict(write_queue_capacity=128)),
+    )
+    for label, overrides in bfs_cases:
+        result, __ = run_gap(
+            "bfs", cores=8, page_policy="closed", scale=scale_obj,
+            graph=bfs_graph, **overrides,
+        )
+        figure.latency.append(result.latency_stack(label))
+        figure.bandwidth.append(result.bandwidth_stack(label))
+        figure.extra[f"{label} page_hit_rate"] = (
+            result.memory.stats.page_hit_rate
+        )
+
+    tc_cases = (
+        ("tc 1c def", dict(address_scheme="default", page_policy="closed")),
+        ("tc 1c int", dict(address_scheme="interleaved",
+                           page_policy="closed")),
+        ("tc 1c open", dict(address_scheme="default", page_policy="open")),
+    )
+    for label, overrides in tc_cases:
+        result, __ = run_gap(
+            "tc", cores=1, scale=scale_obj, graph=tc_graph, **overrides,
+        )
+        figure.latency.append(result.latency_stack(label))
+        figure.bandwidth.append(result.bandwidth_stack(label))
+    return figure
+
+
+def main(scale: str = "paper", output_dir: str = "results") -> FigureResult:
+    """Print the figure as tables and write SVGs to `output_dir`."""
+    figure = run(scale)
+    emit(
+        figure, output_dir,
+        title="Fig. 8: indexing & write-queue what-ifs (bfs 8c, tc 1c)",
+    )
+    for key, value in figure.extra.items():
+        if isinstance(value, float):
+            print(f"{key}: {value:.2f}")
+    return figure
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

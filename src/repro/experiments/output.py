@@ -1,0 +1,65 @@
+"""Shared figure output: print tables, save SVGs."""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.runner import FigureResult
+from repro.viz.ascii_art import render_stack_table
+from repro.viz.svg import save_svg, stacked_area_svg, stacked_bars_svg
+
+
+def emit(
+    figure: FigureResult,
+    output_dir: str | None = "results",
+    title: str = "",
+    bandwidth_max: float | None = None,
+    echo: bool = True,
+) -> str:
+    """Print the figure's stacks as tables and write SVG files.
+
+    Returns the printed text; `output_dir=None` skips the SVG files.
+    """
+    blocks = []
+    if figure.bandwidth:
+        blocks.append(render_stack_table(
+            figure.bandwidth, title=f"{figure.name}: bandwidth stacks (GB/s)"
+        ))
+    if figure.latency:
+        blocks.append(render_stack_table(
+            figure.latency, title=f"{figure.name}: latency stacks (ns)"
+        ))
+    for key, value in figure.extra.items():
+        if isinstance(value, str):
+            blocks.append(f"{figure.name}: {key}\n{value}")
+    text = "\n\n".join(blocks)
+    if echo:
+        print(text)
+
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+        if figure.bandwidth:
+            save_svg(
+                stacked_bars_svg(
+                    figure.bandwidth,
+                    title=title or f"{figure.name} bandwidth stacks",
+                    max_value=bandwidth_max,
+                ),
+                os.path.join(output_dir, f"{figure.name}_bandwidth.svg"),
+            )
+        if figure.latency:
+            save_svg(
+                stacked_bars_svg(
+                    figure.latency,
+                    title=title or f"{figure.name} latency stacks",
+                ),
+                os.path.join(output_dir, f"{figure.name}_latency.svg"),
+            )
+        for key, series in figure.series.items():
+            save_svg(
+                stacked_area_svg(series, title=f"{figure.name} {key}"),
+                os.path.join(
+                    output_dir, f"{figure.name}_{key}_series.svg"
+                ),
+            )
+    return text

@@ -1,0 +1,142 @@
+"""Parameter sweeps over the synthetic configuration space.
+
+A small grid harness over the knobs the paper varies — pattern, cores,
+store fraction, page policy, bank indexing — producing one record per
+point with its headline metrics and stacks. Useful for regenerating any
+figure-like slice, and for CSV export into external tooling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.runner import run_synthetic
+from repro.stacks.components import Stack
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration in the grid."""
+
+    pattern: str = "sequential"
+    cores: int = 1
+    store_fraction: float = 0.0
+    page_policy: str = "open"
+    address_scheme: str = "default"
+
+    @property
+    def label(self) -> str:
+        """Short human-readable point descriptor."""
+        return (
+            f"{self.pattern[:3]} {self.cores}c "
+            f"w{int(self.store_fraction * 100)} "
+            f"{self.page_policy}/{self.address_scheme[:3]}"
+        )
+
+
+@dataclass
+class SweepRecord:
+    """Result of one sweep point."""
+
+    point: SweepPoint
+    achieved_gbps: float
+    avg_latency_ns: float
+    page_hit_rate: float
+    bandwidth: Stack
+    latency: Stack
+
+
+@dataclass
+class SweepResult:
+    """All records of a sweep, with selection and export helpers."""
+
+    records: list[SweepRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def best_bandwidth(self) -> SweepRecord:
+        """Record with the highest achieved bandwidth."""
+        return max(self.records, key=lambda r: r.achieved_gbps)
+
+    def best_latency(self) -> SweepRecord:
+        """Record with the lowest average latency."""
+        return min(self.records, key=lambda r: r.avg_latency_ns)
+
+    def filter(self, **criteria) -> "SweepResult":
+        """Records whose point matches every keyword (e.g. cores=2)."""
+        kept = [
+            record for record in self.records
+            if all(
+                getattr(record.point, key) == value
+                for key, value in criteria.items()
+            )
+        ]
+        return SweepResult(kept)
+
+    def to_csv(self) -> str:
+        """The sweep as a CSV table."""
+        lines = [
+            "pattern,cores,store_fraction,page_policy,address_scheme,"
+            "achieved_gbps,avg_latency_ns,page_hit_rate"
+        ]
+        for record in self.records:
+            p = record.point
+            lines.append(
+                f"{p.pattern},{p.cores},{p.store_fraction},"
+                f"{p.page_policy},{p.address_scheme},"
+                f"{record.achieved_gbps:.4f},{record.avg_latency_ns:.2f},"
+                f"{record.page_hit_rate:.4f}"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def grid(
+    patterns: Iterable[str] = ("sequential", "random"),
+    cores: Iterable[int] = (1,),
+    store_fractions: Iterable[float] = (0.0,),
+    page_policies: Iterable[str] = ("open",),
+    address_schemes: Iterable[str] = ("default",),
+) -> list[SweepPoint]:
+    """Cartesian product of the given axes."""
+    return [
+        SweepPoint(*combo)
+        for combo in itertools.product(
+            patterns, cores, store_fractions, page_policies, address_schemes
+        )
+    ]
+
+
+def run_sweep(
+    points: list[SweepPoint],
+    scale: str | ExperimentScale = "ci",
+    progress=None,
+) -> SweepResult:
+    """Run every point; `progress` (if given) is called per record."""
+    result = SweepResult()
+    for point in points:
+        sim = run_synthetic(
+            point.pattern,
+            cores=point.cores,
+            store_fraction=point.store_fraction,
+            page_policy=point.page_policy,
+            address_scheme=point.address_scheme,
+            scale=scale,
+        )
+        bandwidth = sim.bandwidth_stack(point.label)
+        latency = sim.latency_stack(point.label)
+        record = SweepRecord(
+            point=point,
+            achieved_gbps=bandwidth["read"] + bandwidth["write"],
+            avg_latency_ns=latency.total,
+            page_hit_rate=sim.memory.stats.page_hit_rate,
+            bandwidth=bandwidth,
+            latency=latency,
+        )
+        result.records.append(record)
+        if progress is not None:
+            progress(record)
+    return result

@@ -1,0 +1,56 @@
+"""Bandwidth, latency and cycle stacks: the paper's contribution.
+
+* :mod:`repro.stacks.bandwidth` — hierarchical accounting of every memory
+  channel cycle into read/write/refresh/precharge/activate/bank-idle/
+  constraints/idle components (Sec. IV of the paper).
+* :mod:`repro.stacks.latency` — per-read decomposition of DRAM latency
+  into base/pre-act/refresh/writeburst/queue components (Sec. V).
+* :mod:`repro.stacks.cycle` — CPI-style cycle stacks for the core model,
+  used alongside the memory stacks (Fig. 7).
+* :mod:`repro.stacks.extrapolation` — naive and stack-based bandwidth
+  extrapolation across core counts (Sec. VIII-B).
+"""
+
+from repro.stacks.bandwidth import (
+    BANDWIDTH_COMPONENTS,
+    BandwidthStackAccountant,
+    bandwidth_stack_from_log,
+)
+from repro.stacks.components import Stack, StackSeries
+from repro.stacks.cycle import CYCLE_COMPONENTS, CycleStackBuilder
+from repro.stacks.energy import (
+    ENERGY_COMPONENTS,
+    EnergyAccountant,
+    EnergyModel,
+    energy_stack_from_log,
+)
+from repro.stacks.extrapolation import (
+    extrapolate_naive,
+    extrapolate_series,
+    extrapolate_stack_based,
+)
+from repro.stacks.latency import (
+    LATENCY_COMPONENTS,
+    LatencyStackAccountant,
+    latency_stack_from_requests,
+)
+
+__all__ = [
+    "BANDWIDTH_COMPONENTS",
+    "BandwidthStackAccountant",
+    "CYCLE_COMPONENTS",
+    "CycleStackBuilder",
+    "ENERGY_COMPONENTS",
+    "EnergyAccountant",
+    "EnergyModel",
+    "energy_stack_from_log",
+    "LATENCY_COMPONENTS",
+    "LatencyStackAccountant",
+    "Stack",
+    "StackSeries",
+    "bandwidth_stack_from_log",
+    "extrapolate_naive",
+    "extrapolate_series",
+    "extrapolate_stack_based",
+    "latency_stack_from_requests",
+]

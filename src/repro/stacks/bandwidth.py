@@ -1,0 +1,335 @@
+"""Bandwidth stack accounting (Sec. IV of the paper).
+
+Every memory-channel cycle is attributed to exactly one component (or,
+for the per-bank split, to bank-sized fractions of one cycle), using the
+paper's hierarchical priority:
+
+1. data on the bus                      -> ``read`` / ``write``
+2. refresh in progress                  -> ``refresh``
+3. >= 1 bank precharging or activating  -> the segment is split 1/n per
+   bank; precharging banks feed ``precharge``, activating banks
+   ``activate``, banks with a CAS in flight ``constraints``, and idle
+   banks ``bank_idle``
+4. a *waiting* request blocked by a timing constraint -> ``constraints``;
+   a bank-group- or bank-scoped constraint is again split per bank, with
+   the non-constrained banks counted as ``bank_idle``; rank- and
+   channel-wide constraints take the whole segment
+5. otherwise (including cycles where data is merely in flight with no
+   request waiting)                     -> ``idle``
+
+The accounting is exact: counters are kept in integer units of 1/n_banks
+of a cycle (the paper's footnote 1), and the components always sum to the
+total simulated cycles.
+
+The accountant walks the controller's event log segment by segment — the
+paper's "account multiple cycles in one step" — so its cost is linear in
+the number of DRAM commands, not in simulated cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.dram.controller import EventLog
+from repro.dram.rank import BlockScope
+from repro.dram.timing import TimingSpec
+from repro.errors import AccountingError
+from repro.stacks.components import Stack, StackSeries, ordered_stack
+
+#: Canonical component order (bottom of the stack first). ``read`` and
+#: ``write`` together are the achieved bandwidth; everything else is lost.
+BANDWIDTH_COMPONENTS = (
+    "read",
+    "write",
+    "precharge",
+    "activate",
+    "refresh",
+    "constraints",
+    "bank_idle",
+    "idle",
+)
+
+
+class _WindowCursor:
+    """Forward-moving coverage queries over a time-sorted interval list.
+
+    Windows may overlap each other; queries must be made with
+    non-decreasing segment starts. ``cover(s)`` returns whether any window
+    contains s; ``edges_in(lo, hi)`` returns window edges inside (lo, hi).
+    """
+
+    def __init__(self, windows: list[tuple[int, int]]) -> None:
+        self._windows = sorted(windows)
+        self._idx = 0
+        # Active set pruned lazily: windows with end > current position.
+        self._active: list[tuple[int, int]] = []
+
+    def _advance(self, t: int) -> None:
+        windows = self._windows
+        while self._idx < len(windows) and windows[self._idx][0] <= t:
+            self._active.append(windows[self._idx])
+            self._idx += 1
+        if self._active:
+            self._active = [w for w in self._active if w[1] > t]
+
+    def cover(self, t: int) -> bool:
+        """Whether any window contains time t (non-decreasing t calls)."""
+        self._advance(t)
+        return bool(self._active)
+
+    def edges_in(self, lo: int, hi: int) -> list[int]:
+        """Window start/end points strictly inside (lo, hi)."""
+        self._advance(lo)
+        windows = self._windows
+        edges = []
+        # Starts within range: binary search over sorted starts.
+        i = bisect_right(windows, (lo, 1 << 62))
+        while i < len(windows) and windows[i][0] < hi:
+            edges.append(windows[i][0])
+            if lo < windows[i][1] < hi:
+                edges.append(windows[i][1])
+            i += 1
+        # Ends of already-active windows.
+        for start, end in self._active:
+            if lo < end < hi:
+                edges.append(end)
+        return edges
+
+
+class _ScopedCursor(_WindowCursor):
+    """Coverage cursor that also reports the covering window's payload."""
+
+    def __init__(self, windows: list[tuple[int, int, object]]) -> None:
+        self._payloads = {(s, e): p for s, e, p in windows}
+        super().__init__([(s, e) for s, e, __ in windows])
+
+    def covering_payload(self, t: int) -> object | None:
+        """Payload of a window covering time t, if any."""
+        self._advance(t)
+        if not self._active:
+            return None
+        return self._payloads[self._active[0]]
+
+
+class BandwidthStackAccountant:
+    """Builds bandwidth stacks from a controller event log."""
+
+    def __init__(self, spec: TimingSpec) -> None:
+        self.spec = spec
+        self.num_banks = spec.organization.total_banks
+
+    # ------------------------------------------------------------------
+    def account_cycles(
+        self,
+        log: EventLog,
+        total_cycles: int,
+        bin_cycles: int | None = None,
+    ) -> list[dict[str, int]]:
+        """Attribute all cycles; returns per-bin integer numerators.
+
+        Each returned dict maps component -> count in units of
+        1/num_banks cycles; per bin the counts sum to
+        ``num_banks * bin_length`` exactly.
+        """
+        if total_cycles <= 0:
+            raise AccountingError("total_cycles must be positive")
+        n = self.num_banks
+        if bin_cycles is None:
+            bin_cycles = total_cycles
+        num_bins = -(-total_cycles // bin_cycles)
+        bins: list[dict[str, int]] = [
+            dict.fromkeys(BANDWIDTH_COMPONENTS, 0) for _ in range(num_bins)
+        ]
+
+        def add(component: str, s: int, e: int, weight: int) -> None:
+            """Add `weight` (in 1/n cycle units) per cycle of [s, e)."""
+            s = max(s, 0)
+            e = min(e, total_cycles)
+            while s < e:
+                b = s // bin_cycles
+                seg_end = min(e, (b + 1) * bin_cycles)
+                bins[b][component] += (seg_end - s) * weight
+                s = seg_end
+
+        # --- 1. Data bursts -------------------------------------------
+        # Entries are (start, end, is_write[, core_id]); hand-built logs
+        # may omit the core.
+        bursts = sorted(log.bursts)
+        prev_end = 0
+        gaps: list[tuple[int, int]] = []
+        for start, end, is_write, *__ in bursts:
+            if start < prev_end:
+                raise AccountingError(
+                    f"overlapping data bursts at cycle {start}"
+                )
+            if start > prev_end:
+                gaps.append((prev_end, min(start, total_cycles)))
+            add("write" if is_write else "read", start, end, n)
+            prev_end = end
+        if prev_end < total_cycles:
+            gaps.append((prev_end, total_cycles))
+
+        # --- 2. Gap classification ------------------------------------
+        refresh = _WindowCursor(list(log.refresh_windows))
+        blocked = _ScopedCursor(
+            [(s, e, (scope, reason)) for s, e, scope, __, reason in log.blocked]
+        )
+        per_bank = self._per_bank_cursors(log)
+        bpg = self.spec.organization.banks_per_group
+
+        for gap_start, gap_end in gaps:
+            if gap_start >= gap_end:
+                continue
+            edges = {gap_start, gap_end}
+            edges.update(refresh.edges_in(gap_start, gap_end))
+            edges.update(blocked.edges_in(gap_start, gap_end))
+            for cursor in per_bank:
+                for kind_cursor in cursor:
+                    edges.update(kind_cursor.edges_in(gap_start, gap_end))
+            points = sorted(edges)
+            for s, e in zip(points, points[1:]):
+                self._classify_segment(
+                    s, e, refresh, blocked, per_bank, bpg, add
+                )
+
+        # --- 3. Exactness check ----------------------------------------
+        for b, counters in enumerate(bins):
+            length = min(total_cycles - b * bin_cycles, bin_cycles)
+            if sum(counters.values()) != n * length:
+                raise AccountingError(
+                    f"bin {b}: components sum to {sum(counters.values())}, "
+                    f"expected {n * length}"
+                )
+        return bins
+
+    def _per_bank_cursors(self, log: EventLog) -> list[tuple[_WindowCursor, ...]]:
+        """One (pre, act, cas) cursor triple per bank."""
+        n = self.num_banks
+        pre: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        act: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        cas: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for s, e, bank in log.pre_windows:
+            pre[bank].append((s, e))
+        for s, e, bank in log.act_windows:
+            act[bank].append((s, e))
+        for s, e, bank in log.cas_windows:
+            cas[bank].append((s, e))
+        return [
+            (_WindowCursor(pre[i]), _WindowCursor(act[i]), _WindowCursor(cas[i]))
+            for i in range(n)
+        ]
+
+    def _classify_segment(
+        self, s: int, e: int, refresh: _WindowCursor, blocked: _ScopedCursor,
+        per_bank: list[tuple[_WindowCursor, ...]], banks_per_group: int,
+        add,
+    ) -> None:
+        """Attribute one channel-idle segment [s, e)."""
+        n = self.num_banks
+        if refresh.cover(s):
+            add("refresh", s, e, n)
+            return
+        n_pre = n_act = n_cas = 0
+        for pre_cur, act_cur, cas_cur in per_bank:
+            if pre_cur.cover(s):
+                n_pre += 1
+            elif act_cur.cover(s):
+                n_act += 1
+            elif cas_cur.cover(s):
+                n_cas += 1
+        if n_pre or n_act:
+            add("precharge", s, e, n_pre)
+            add("activate", s, e, n_act)
+            add("constraints", s, e, n_cas)
+            add("bank_idle", s, e, n - n_pre - n_act - n_cas)
+            return
+        payload = blocked.covering_payload(s)
+        if payload is not None:
+            scope, reason = payload
+            if reason == "data_inflight":
+                # Data is on its way but nothing is waiting to issue:
+                # more requests could have used these cycles -> idle
+                # (the paper: "the DRAM chip is completely idle").
+                add("idle", s, e, n)
+            elif scope is BlockScope.BANK_GROUP:
+                add("constraints", s, e, banks_per_group)
+                add("bank_idle", s, e, n - banks_per_group)
+            elif scope is BlockScope.BANK:
+                add("constraints", s, e, 1)
+                add("bank_idle", s, e, n - 1)
+            else:  # RANK / CHANNEL: nothing could issue anywhere.
+                add("constraints", s, e, n)
+            return
+        add("idle", s, e, n)
+
+    # ------------------------------------------------------------------
+    def account(
+        self, log: EventLog, total_cycles: int, label: str = ""
+    ) -> Stack:
+        """One aggregate bandwidth stack in GB/s; totals the peak."""
+        counters = self.account_cycles(log, total_cycles)[0]
+        return self._to_gbps(counters, total_cycles, label)
+
+    def account_series(
+        self,
+        log: EventLog,
+        total_cycles: int,
+        bin_cycles: int,
+        label: str = "",
+    ) -> StackSeries:
+        """Through-time bandwidth stacks, one per `bin_cycles` window."""
+        bins = self.account_cycles(log, total_cycles, bin_cycles)
+        stacks = []
+        for b, counters in enumerate(bins):
+            length = min(total_cycles - b * bin_cycles, bin_cycles)
+            stacks.append(self._to_gbps(counters, length, f"{label}[{b}]"))
+        return StackSeries(
+            stacks, bin_cycles, self.spec.cycle_ns, label=label
+        )
+
+    def _to_gbps(
+        self, counters: dict[str, int], length: int, label: str
+    ) -> Stack:
+        peak = self.spec.peak_bandwidth_gbps
+        scale = peak / (self.num_banks * length)
+        stack = ordered_stack(
+            {name: count * scale for name, count in counters.items()},
+            BANDWIDTH_COMPONENTS,
+            unit="GB/s",
+            label=label,
+        )
+        stack.check_total(peak)
+        return stack
+
+
+    def per_core_achieved(
+        self, log: EventLog, total_cycles: int
+    ) -> dict[int, dict[str, float]]:
+        """Achieved read/write bandwidth per originating core, in GB/s.
+
+        Bursts recorded without a core id land under core -1.
+        """
+        if total_cycles <= 0:
+            raise AccountingError("total_cycles must be positive")
+        cycles: dict[int, dict[str, int]] = {}
+        for entry in log.bursts:
+            start, end, is_write = entry[0], entry[1], entry[2]
+            core = entry[3] if len(entry) > 3 else -1
+            start = max(start, 0)
+            end = min(end, total_cycles)
+            if start >= end:
+                continue
+            bucket = cycles.setdefault(core, {"read": 0, "write": 0})
+            bucket["write" if is_write else "read"] += end - start
+        scale = self.spec.peak_bandwidth_gbps / total_cycles
+        return {
+            core: {kind: count * scale for kind, count in bucket.items()}
+            for core, bucket in sorted(cycles.items())
+        }
+
+
+def bandwidth_stack_from_log(
+    log: EventLog, total_cycles: int, spec: TimingSpec, label: str = ""
+) -> Stack:
+    """Convenience wrapper: one aggregate GB/s stack from an event log."""
+    return BandwidthStackAccountant(spec).account(log, total_cycles, label)

@@ -1,0 +1,187 @@
+"""Latency stack accounting (Sec. V of the paper).
+
+For every read that reached DRAM, its latency (arrival at the controller
+to last data beat) is decomposed into:
+
+* ``base`` — the uncontended open-page read time: a fixed controller
+  pipeline plus tCL plus the burst. Optionally split into ``base_cntlr``
+  and ``base_dram`` (as in the paper's Fig. 7).
+* ``pre_act`` — time spent in the request's own precharge/activate on a
+  page miss.
+* ``refresh`` — waiting while the rank was refreshing.
+* ``writeburst`` — waiting while a forced write-buffer drain blocked reads.
+* ``queue`` — all remaining waiting (other requests, timing constraints).
+
+Components are measured per read and averaged over reads only — writes do
+not stall cores (Sec. V). Prefetch-generated reads are DRAM reads like
+any other and are included by default (pass ``include_prefetch=False``
+to restrict to demand loads); in a prefetcher-covered stream they *are*
+the read stream whose latency bounds throughput. The decomposition is exact: the components of
+each read sum to its measured latency, so no latency is double counted
+or lost.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import Request
+from repro.dram.timing import TimingSpec
+from repro.errors import AccountingError
+from repro.stacks import intervals as iv
+from repro.stacks.components import Stack, StackSeries, ordered_stack
+
+LATENCY_COMPONENTS = ("base", "pre_act", "refresh", "writeburst", "queue")
+LATENCY_COMPONENTS_SPLIT = (
+    "base_cntlr", "base_dram", "pre_act", "refresh", "writeburst", "queue",
+)
+
+
+class LatencyStackAccountant:
+    """Builds latency stacks from completed read requests.
+
+    Args:
+        spec: timing spec (for the base read time and ns conversion).
+        base_controller_cycles: fixed front-end cycles added to every
+            request (controller pipeline, on-chip network).
+        split_base: report ``base_cntlr``/``base_dram`` separately.
+    """
+
+    def __init__(
+        self,
+        spec: TimingSpec,
+        base_controller_cycles: int = 0,
+        split_base: bool = False,
+        include_prefetch: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.base_controller_cycles = base_controller_cycles
+        self.split_base = split_base
+        self.include_prefetch = include_prefetch
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        """Component order for this configuration."""
+        return LATENCY_COMPONENTS_SPLIT if self.split_base else LATENCY_COMPONENTS
+
+    # ------------------------------------------------------------------
+    def decompose(
+        self,
+        request: Request,
+        refresh_windows: list[tuple[int, int]],
+        drain_windows: list[tuple[int, int]],
+    ) -> dict[str, float]:
+        """Per-read latency components, in cycles."""
+        if not request.is_read or request.cas_issue < 0:
+            raise AccountingError(
+                "latency stacks are built from completed reads only"
+            )
+        arrival, cas, finish = request.arrival, request.cas_issue, request.finish
+        base_dram = finish - cas
+        wait = [(arrival, cas)]
+
+        in_refresh = iv.clip(refresh_windows, arrival, cas)
+        rest = iv.subtract(wait, in_refresh)
+        in_drain = iv.intersect(rest, iv.clip(drain_windows, arrival, cas))
+        rest = iv.subtract(rest, in_drain)
+        own: list[tuple[int, int]] = []
+        if request.own_pre_start >= 0:
+            own.append((request.own_pre_start, request.own_pre_end))
+        if request.own_act_start >= 0:
+            own.append((request.own_act_start, request.own_act_end))
+        own.sort()
+        in_own = iv.intersect(rest, iv.clip(own, arrival, cas))
+
+        refresh_c = iv.total_length(in_refresh)
+        drain_c = iv.total_length(in_drain)
+        own_c = iv.total_length(in_own)
+        queue_c = (cas - arrival) - refresh_c - drain_c - own_c
+        parts: dict[str, float] = {
+            "pre_act": own_c,
+            "refresh": refresh_c,
+            "writeburst": drain_c,
+            "queue": queue_c,
+        }
+        if self.split_base:
+            parts["base_cntlr"] = self.base_controller_cycles
+            parts["base_dram"] = base_dram
+        else:
+            parts["base"] = self.base_controller_cycles + base_dram
+        return parts
+
+    def account(
+        self,
+        requests: list[Request],
+        refresh_windows: list[tuple[int, int]],
+        drain_windows: list[tuple[int, int]],
+        label: str = "",
+    ) -> Stack:
+        """Average latency stack over all DRAM reads, in nanoseconds."""
+        reads = [
+            r for r in requests
+            if r.is_read and not r.forwarded and r.cas_issue >= 0
+            and (self.include_prefetch or not r.is_prefetch)
+        ]
+        if not reads:
+            return ordered_stack({}, self.components, unit="ns", label=label)
+        sums = dict.fromkeys(self.components, 0.0)
+        for request in reads:
+            parts = self.decompose(request, refresh_windows, drain_windows)
+            for name, value in parts.items():
+                sums[name] += value
+            measured = (
+                request.finish - request.arrival + self.base_controller_cycles
+            )
+            if abs(sum(parts.values()) - measured) > 1e-9:
+                raise AccountingError(
+                    f"latency components sum to {sum(parts.values())} for a "
+                    f"read with measured latency {measured}"
+                )
+        scale = self.spec.cycle_ns / len(reads)
+        return ordered_stack(
+            {name: value * scale for name, value in sums.items()},
+            self.components,
+            unit="ns",
+            label=label,
+        )
+
+    def account_series(
+        self,
+        requests: list[Request],
+        refresh_windows: list[tuple[int, int]],
+        drain_windows: list[tuple[int, int]],
+        total_cycles: int,
+        bin_cycles: int,
+        label: str = "",
+    ) -> StackSeries:
+        """Through-time latency stacks, binned by read completion time."""
+        num_bins = -(-total_cycles // bin_cycles)
+        buckets: list[list[Request]] = [[] for _ in range(num_bins)]
+        for request in requests:
+            if not request.is_read or request.forwarded:
+                continue
+            if request.is_prefetch and not self.include_prefetch:
+                continue
+            if request.cas_issue < 0:
+                continue
+            b = min(request.finish // bin_cycles, num_bins - 1)
+            buckets[b].append(request)
+        stacks = [
+            self.account(
+                bucket, refresh_windows, drain_windows, f"{label}[{b}]"
+            )
+            for b, bucket in enumerate(buckets)
+        ]
+        return StackSeries(stacks, bin_cycles, self.spec.cycle_ns, label=label)
+
+
+def latency_stack_from_requests(
+    requests: list[Request],
+    log,
+    spec: TimingSpec,
+    base_controller_cycles: int = 0,
+    label: str = "",
+) -> Stack:
+    """Convenience wrapper taking the controller's event log directly."""
+    accountant = LatencyStackAccountant(spec, base_controller_cycles)
+    return accountant.account(
+        requests, log.refresh_windows, log.drain_windows, label
+    )

@@ -1,0 +1,26 @@
+"""Offline command-trace tooling.
+
+The paper notes that instead of integrated simulation, a command trace
+(with timings) can be collected from hardware or a DRAM simulator and
+the stacks constructed offline (Sec. IV). This subpackage provides the
+trace format, a writer/reader, and the offline stack construction.
+"""
+
+from repro.trace.events import CommandRecord, RequestRecord, TraceFile
+from repro.trace.io import read_trace, write_trace
+from repro.trace.offline import (
+    capture_trace,
+    event_log_from_trace,
+    offline_bandwidth_stack,
+)
+
+__all__ = [
+    "CommandRecord",
+    "RequestRecord",
+    "TraceFile",
+    "capture_trace",
+    "event_log_from_trace",
+    "offline_bandwidth_stack",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,40 @@
+"""Command-trace record types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Command mnemonics used in the trace format.
+COMMAND_NAMES = ("ACT", "PRE", "PREA", "RD", "WR", "REF")
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """A processor-side request arrival, as recorded in a trace."""
+
+    arrival: int
+    is_write: bool
+    address: int
+    req_id: int = -1
+
+
+@dataclass(frozen=True)
+class CommandRecord:
+    """A DRAM command issue, as recorded in a trace."""
+
+    issue: int
+    name: str  # one of COMMAND_NAMES
+    bank_group: int = -1
+    bank: int = -1
+    row: int = -1
+    req_id: int = -1
+
+
+@dataclass
+class TraceFile:
+    """A full trace: spec name, requests and commands in time order."""
+
+    spec_name: str
+    total_cycles: int
+    requests: list[RequestRecord] = field(default_factory=list)
+    commands: list[CommandRecord] = field(default_factory=list)

@@ -1,0 +1,141 @@
+"""Offline stack construction from a stored command trace.
+
+Rebuilds a channel event log from commands + request arrivals (Sec. IV's
+"the bandwidth stack can be constructed offline from this trace") and
+runs the normal accountant on it.
+
+Fidelity note: the online controller records the *scope* of the binding
+constraint for every blocked interval, which the per-bank ``constraints``
+vs ``bank_idle`` split uses. A bare command trace does not carry that
+information, so offline blocked intervals (cycles with a pending request
+but no pre/act activity) are charged rank-wide to ``constraints``. All
+other components are reconstructed exactly.
+"""
+
+from __future__ import annotations
+
+from repro.dram.controller import EventLog, MemoryController
+from repro.dram.commands import CommandType
+from repro.dram.rank import BlockScope
+from repro.dram.timing import DDR4_2400, DDR5_4800, DDR4_3200, TimingSpec
+from repro.errors import TraceFormatError
+from repro.stacks import intervals as iv
+from repro.stacks.bandwidth import BandwidthStackAccountant
+from repro.stacks.components import Stack
+from repro.trace.events import CommandRecord, RequestRecord, TraceFile
+
+_KNOWN_SPECS = {
+    spec.name: spec for spec in (DDR4_2400, DDR4_3200, DDR5_4800)
+}
+
+_CMD_NAMES = {
+    CommandType.ACTIVATE: "ACT",
+    CommandType.PRECHARGE: "PRE",
+    CommandType.PRECHARGE_ALL: "PREA",
+    CommandType.READ: "RD",
+    CommandType.WRITE: "WR",
+    CommandType.REFRESH: "REF",
+}
+
+
+def spec_by_name(name: str) -> TimingSpec:
+    """Look up a timing spec referenced by a trace header."""
+    if name not in _KNOWN_SPECS:
+        raise TraceFormatError(
+            f"unknown spec {name!r}; known: {sorted(_KNOWN_SPECS)}"
+        )
+    return _KNOWN_SPECS[name]
+
+
+def capture_trace(controller: MemoryController) -> TraceFile:
+    """Extract a TraceFile from a finished controller run.
+
+    The controller must have been configured with
+    ``keep_command_trace=True``.
+    """
+    if not controller.config.keep_command_trace:
+        raise TraceFormatError(
+            "controller was not recording commands "
+            "(set keep_command_trace=True)"
+        )
+    trace = TraceFile(
+        spec_name=controller.spec.name,
+        total_cycles=controller.now,
+    )
+    for request in controller.completed_requests:
+        if request.forwarded:
+            continue
+        trace.requests.append(RequestRecord(
+            arrival=request.arrival,
+            is_write=request.is_write,
+            address=request.address,
+            req_id=request.req_id,
+        ))
+    for command in controller.log.commands:
+        trace.commands.append(CommandRecord(
+            issue=command.issue,
+            name=_CMD_NAMES[command.cmd_type],
+            bank_group=command.bank_group,
+            bank=command.bank,
+            row=command.row,
+            req_id=command.req_id,
+        ))
+    trace.requests.sort(key=lambda r: r.arrival)
+    return trace
+
+
+def event_log_from_trace(
+    trace: TraceFile, spec: TimingSpec | None = None
+) -> EventLog:
+    """Rebuild the channel event log from a command trace."""
+    spec = spec or spec_by_name(trace.spec_name)
+    bpg = spec.organization.banks_per_group
+    log = EventLog()
+    serve_time: dict[int, int] = {}
+
+    for cmd in trace.commands:
+        flat = cmd.bank_group * bpg + cmd.bank
+        if cmd.name == "ACT":
+            log.act_windows.append((cmd.issue, cmd.issue + spec.tRCD, flat))
+        elif cmd.name in ("PRE", "PREA"):
+            log.pre_windows.append((cmd.issue, cmd.issue + spec.tRP, flat))
+        elif cmd.name == "REF":
+            log.refresh_windows.append((cmd.issue, cmd.issue + spec.tRFC))
+        elif cmd.name in ("RD", "WR"):
+            is_write = cmd.name == "WR"
+            lead = spec.tCWL if is_write else spec.tCL
+            start = cmd.issue + lead
+            end = start + spec.burst_cycles
+            log.bursts.append((start, end, is_write))
+            log.cas_windows.append((cmd.issue, end, flat))
+            if cmd.req_id >= 0:
+                serve_time[cmd.req_id] = cmd.issue
+        else:
+            raise TraceFormatError(f"unknown command {cmd.name!r}")
+
+    # Pending intervals: arrival -> CAS issue per request; gaps covered
+    # by them become rank-scope blocked intervals.
+    pending: list[tuple[int, int]] = []
+    for request in trace.requests:
+        served = serve_time.get(request.req_id)
+        if served is not None and served > request.arrival:
+            pending.append((request.arrival, served))
+    pending.sort()
+    merged = iv.union(pending, [])
+    for start, end in merged:
+        log.blocked.append(
+            (start, end, BlockScope.RANK, -1, "offline_pending")
+        )
+    return log
+
+
+def offline_bandwidth_stack(
+    trace: TraceFile,
+    spec: TimingSpec | None = None,
+    label: str = "",
+) -> Stack:
+    """Bandwidth stack straight from a stored trace."""
+    spec = spec or spec_by_name(trace.spec_name)
+    log = event_log_from_trace(trace, spec)
+    accountant = BandwidthStackAccountant(spec)
+    return accountant.account(log, trace.total_cycles, label)

@@ -1,0 +1,119 @@
+"""Terminal rendering of stacks: horizontal stacked bars and tables."""
+
+from __future__ import annotations
+
+from repro.stacks.components import Stack
+from repro.viz.palette import terminal_color_for
+
+#: Fill characters cycled when color is off, so components stay
+#: distinguishable in plain text.
+_FILLS = "█▓▒░▚▞▤▥"
+
+
+def _bar(
+    stack: Stack,
+    width: int,
+    scale: float,
+    color: bool,
+) -> str:
+    """One stacked horizontal bar."""
+    pieces = []
+    fills = {}
+    for index, (name, value) in enumerate(stack.as_rows()):
+        cells = int(round(value * scale))
+        if cells <= 0:
+            continue
+        fill = _FILLS[index % len(_FILLS)]
+        fills[name] = fill
+        if color:
+            code = terminal_color_for(name)
+            pieces.append(f"\x1b[38;5;{code}m{'█' * cells}\x1b[0m")
+        else:
+            pieces.append(fill * cells)
+    return "".join(pieces)
+
+
+def render_stacks(
+    stacks: list[Stack],
+    width: int = 60,
+    color: bool = False,
+    title: str = "",
+) -> str:
+    """Render stacks as aligned horizontal bars with a legend.
+
+    All stacks share one scale (the maximum total), so bar lengths are
+    comparable — like the bars within one of the paper's figures.
+    """
+    if not stacks:
+        return "(no stacks)"
+    peak = max(stack.total for stack in stacks) or 1.0
+    scale = width / peak
+    label_width = max(len(stack.label) for stack in stacks)
+    lines = []
+    if title:
+        lines.append(title)
+    unit = stacks[0].unit
+    for stack in stacks:
+        bar = _bar(stack, width, scale, color)
+        lines.append(
+            f"{stack.label:>{label_width}} |{bar:<{width}}| "
+            f"{stack.total:8.2f} {unit}"
+        )
+    lines.append(_legend(stacks, color))
+    return "\n".join(lines)
+
+
+def _legend(stacks: list[Stack], color: bool) -> str:
+    names: list[str] = []
+    for stack in stacks:
+        for name, __ in stack.as_rows():
+            if name not in names:
+                names.append(name)
+    parts = []
+    for index, name in enumerate(names):
+        fill = _FILLS[index % len(_FILLS)]
+        if color:
+            code = terminal_color_for(name)
+            parts.append(f"\x1b[38;5;{code}m█\x1b[0m {name}")
+        else:
+            parts.append(f"{fill} {name}")
+    return "legend: " + "  ".join(parts)
+
+
+def render_stack_table(
+    stacks: list[Stack], precision: int = 2, title: str = ""
+) -> str:
+    """Render stacks as a component x stack table (paper-table style)."""
+    if not stacks:
+        return "(no stacks)"
+    names: list[str] = []
+    for stack in stacks:
+        for name, __ in stack.as_rows():
+            if name not in names:
+                names.append(name)
+    label_width = max(len(name) for name in names + ["total"])
+    col_width = max(
+        max((len(stack.label) for stack in stacks), default=8),
+        precision + 6,
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * label_width + " | " + " | ".join(
+        f"{stack.label:>{col_width}}" for stack in stacks
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        row = " | ".join(
+            f"{stack[name]:>{col_width}.{precision}f}" for stack in stacks
+        )
+        lines.append(f"{name:<{label_width}} | {row}")
+    lines.append("-" * len(header))
+    totals = " | ".join(
+        f"{stack.total:>{col_width}.{precision}f}" for stack in stacks
+    )
+    lines.append(f"{'total':<{label_width}} | {totals}")
+    if stacks[0].unit:
+        lines.append(f"(unit: {stacks[0].unit})")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Machine-readable stack export: CSV and JSON-compatible dicts.
+
+For pulling stacks into spreadsheets, notebooks, or other plotting
+pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.stacks.components import Stack, StackSeries
+
+
+def _csv_field(value: str) -> str:
+    """Quote a CSV field when it needs quoting."""
+    if any(ch in value for ch in ',"\n'):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def stacks_to_csv(stacks: list[Stack]) -> str:
+    """Component x stack CSV table (stack labels as columns)."""
+    if not stacks:
+        return ""
+    names: list[str] = []
+    for stack in stacks:
+        for name, __ in stack.as_rows():
+            if name not in names:
+                names.append(name)
+    lines = ["component," + ",".join(_csv_field(s.label) for s in stacks)]
+    for name in names:
+        values = ",".join(f"{stack[name]:.6g}" for stack in stacks)
+        lines.append(f"{name},{values}")
+    totals = ",".join(f"{stack.total:.6g}" for stack in stacks)
+    lines.append(f"total,{totals}")
+    return "\n".join(lines) + "\n"
+
+
+def series_to_csv(series: StackSeries) -> str:
+    """Through-time CSV: one row per bin, one column per component."""
+    if not len(series):
+        return ""
+    names = list(series[0].components)
+    lines = ["time_ms," + ",".join(names)]
+    for time_ms, stack in zip(series.times_ms(), series):
+        values = ",".join(f"{stack[name]:.6g}" for name in names)
+        lines.append(f"{time_ms:.6g},{values}")
+    return "\n".join(lines) + "\n"
+
+
+def stack_to_dict(stack: Stack) -> dict:
+    """JSON-serializable representation of one stack."""
+    return {
+        "label": stack.label,
+        "unit": stack.unit,
+        "total": stack.total,
+        "components": dict(stack.components),
+    }
+
+
+def series_to_dict(series: StackSeries) -> dict:
+    """JSON-serializable representation of a series."""
+    return {
+        "label": series.label,
+        "bin_cycles": series.bin_cycles,
+        "cycle_ns": series.cycle_ns,
+        "times_ms": series.times_ms(),
+        "stacks": [stack_to_dict(stack) for stack in series],
+    }
+
+
+def stacks_to_json(stacks: list[Stack], indent: int = 2) -> str:
+    """JSON document for a list of stacks."""
+    return json.dumps([stack_to_dict(s) for s in stacks], indent=indent)
+
+
+def stack_from_dict(payload: dict) -> Stack:
+    """Inverse of :func:`stack_to_dict`."""
+    return Stack(
+        dict(payload["components"]),
+        unit=payload.get("unit", ""),
+        label=payload.get("label", ""),
+    )

@@ -1,0 +1,48 @@
+"""Component colors, shared by the SVG and (256-color) terminal output.
+
+The palette follows the paper's figures: achieved bandwidth (read/write)
+in strong blues, overhead components in warm colors, idle components in
+grays.
+"""
+
+from __future__ import annotations
+
+#: name -> (hex color, terminal 256-color index)
+_PALETTE: dict[str, tuple[str, int]] = {
+    # bandwidth stacks
+    "read": ("#1f77b4", 32),
+    "write": ("#6baed6", 75),
+    "precharge": ("#d62728", 160),
+    "activate": ("#ff7f0e", 208),
+    "refresh": ("#9467bd", 97),
+    "constraints": ("#e6b417", 178),
+    "bank_idle": ("#2ca02c", 71),
+    "idle": ("#bdbdbd", 250),
+    # latency stacks
+    "base": ("#1f77b4", 32),
+    "base_cntlr": ("#17becf", 37),
+    "base_dram": ("#1f77b4", 32),
+    "pre_act": ("#ff7f0e", 208),
+    "writeburst": ("#8c564b", 94),
+    "queue": ("#d62728", 160),
+    # cycle stacks
+    "branch": ("#e377c2", 176),
+    "dcache": ("#2ca02c", 71),
+    "dram_latency": ("#ff7f0e", 208),
+    "dram_queue": ("#d62728", 160),
+    # energy stacks
+    "activate_precharge": ("#ff7f0e", 208),
+    "background": ("#bdbdbd", 250),
+}
+
+_FALLBACK = ("#7f7f7f", 244)
+
+
+def color_for(component: str) -> str:
+    """Hex color for a stack component."""
+    return _PALETTE.get(component, _FALLBACK)[0]
+
+
+def terminal_color_for(component: str) -> int:
+    """256-color terminal index for a stack component."""
+    return _PALETTE.get(component, _FALLBACK)[1]

@@ -1,0 +1,29 @@
+"""Workloads: synthetic patterns and the GAP graph benchmarks.
+
+A workload produces one instruction trace (an iterable of
+:class:`repro.cpu.core.TraceItem`) per core. The synthetic sequential and
+random patterns mirror the paper's validation benchmarks (Sec. VI/VII);
+the GAP kernels (Sec. VIII) are implemented as instrumented graph
+algorithms that emit the memory reference streams of their C++
+counterparts.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import (
+    PhasedWorkload,
+    PointerChaseWorkload,
+    RandomWorkload,
+    SequentialWorkload,
+    StridedWorkload,
+    SyntheticConfig,
+)
+
+__all__ = [
+    "PhasedWorkload",
+    "PointerChaseWorkload",
+    "RandomWorkload",
+    "SequentialWorkload",
+    "StridedWorkload",
+    "SyntheticConfig",
+    "Workload",
+]

@@ -1,0 +1,86 @@
+"""Workload interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator
+
+from repro.cpu.core import TraceItem
+from repro.errors import WorkloadError
+
+
+class Workload(abc.ABC):
+    """Something that can generate per-core instruction traces."""
+
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def traces(self, cores: int) -> list[Iterable[TraceItem]]:
+        """One trace per core. Traces may be generators."""
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        return self.name
+
+
+def stagger_base(base: int, core_id: int, region_bytes: int) -> int:
+    """Per-core region start, staggered across bank groups.
+
+    Cores get disjoint address regions; the start of each region is
+    additionally offset by one DRAM page per core so simultaneous
+    sequential streams begin in different bank groups (the paper: "each
+    core accesses different parts of the sequential pattern, spreading
+    the resulting requests over bank groups").
+    """
+    page = 8 * 1024
+    return base + core_id * region_bytes + (core_id % 4) * page
+
+
+def split_range(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split [0, total) into `parts` near-equal contiguous ranges."""
+    if parts < 1:
+        raise WorkloadError("parts must be >= 1")
+    step = total // parts
+    remainder = total % parts
+    ranges = []
+    start = 0
+    for i in range(parts):
+        size = step + (1 if i < remainder else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def split_by_weight(weights, parts: int) -> list[tuple[int, int]]:
+    """Split items into `parts` contiguous ranges of near-equal weight.
+
+    Mirrors dynamic work scheduling on skewed inputs (GAP uses OpenMP
+    dynamic scheduling): a range's total weight, not its item count, is
+    balanced. `weights` is any sequence of non-negative numbers.
+    """
+    if parts < 1:
+        raise WorkloadError("parts must be >= 1")
+    total = float(sum(weights))
+    n = len(weights)
+    if total <= 0:
+        return split_range(n, parts)
+    ranges = []
+    start = 0
+    accumulated = 0.0
+    target = total / parts
+    for part in range(parts - 1):
+        goal = target * (part + 1)
+        end = start
+        while end < n and accumulated < goal:
+            accumulated += weights[end]
+            end += 1
+        ranges.append((start, end))
+        start = end
+    ranges.append((start, n))
+    return ranges
+
+
+def chain(*iterables: Iterable[TraceItem]) -> Iterator[TraceItem]:
+    """Concatenate trace fragments."""
+    for iterable in iterables:
+        yield from iterable

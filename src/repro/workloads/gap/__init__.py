@@ -1,0 +1,32 @@
+"""GAP benchmark suite (Beamer et al.) as instrumented graph kernels.
+
+The six kernels — bfs, pr, cc, sssp, bc, tc — run the real algorithms on
+CSR graphs while emitting the memory reference streams their array
+accesses produce (offset array: sequential; neighbor lists: sequential
+bursts; vertex properties: data-dependent random). Work is partitioned
+across cores by vertex ranges with barriers between iterations, giving
+the phase behaviour the paper analyzes (Fig. 7).
+
+Graphs are synthetic Kronecker (GAP's own default) at reduced scale; the
+cache hierarchy is scaled down proportionally (see
+:func:`gap_hierarchy`) so the cache-to-working-set ratio — and thus the
+DRAM behaviour — matches the paper's full-size setup.
+"""
+
+from repro.workloads.gap.graph import Graph, kronecker_graph, uniform_graph
+from repro.workloads.gap.suite import (
+    GAP_KERNELS,
+    GapWorkload,
+    gap_hierarchy,
+    make_kernel,
+)
+
+__all__ = [
+    "GAP_KERNELS",
+    "Graph",
+    "GapWorkload",
+    "gap_hierarchy",
+    "kronecker_graph",
+    "make_kernel",
+    "uniform_graph",
+]

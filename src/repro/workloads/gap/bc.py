@@ -1,0 +1,132 @@
+"""Betweenness centrality (Brandes, single source — GAP's per-source pass).
+
+Forward phase: BFS that also counts shortest paths (sigma). Backward
+phase: walk the levels in reverse, accumulating dependencies (delta)
+along same-shortest-path edges. Both phases mix sequential adjacency
+scans with random property accesses to sigma/delta/depth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import split_by_weight
+from repro.workloads.gap.graph import Graph, default_source
+from repro.workloads.gap.tracer import MemoryLayout, barrier_all, make_tracers
+
+
+def bc_reference(graph: Graph, source: int) -> np.ndarray:
+    """Single-source Brandes dependencies, for validation."""
+    n = graph.num_vertices
+    depth = np.full(n, -1, dtype=np.int64)
+    sigma = np.zeros(n, dtype=np.float64)
+    depth[source] = 0
+    sigma[source] = 1.0
+    levels: list[list[int]] = [[source]]
+    while levels[-1]:
+        frontier = levels[-1]
+        next_frontier: list[int] = []
+        for v in frontier:
+            for u in graph.neighbors_of(v):
+                u = int(u)
+                if depth[u] < 0:
+                    depth[u] = depth[v] + 1
+                    next_frontier.append(u)
+                if depth[u] == depth[v] + 1:
+                    sigma[u] += sigma[v]
+        levels.append(next_frontier)
+    delta = np.zeros(n, dtype=np.float64)
+    for frontier in reversed(levels[:-1]):
+        for v in frontier:
+            for u in graph.neighbors_of(v):
+                u = int(u)
+                if depth[u] == depth[v] + 1 and sigma[u] > 0:
+                    delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u])
+    return delta
+
+
+class BcKernel:
+    """Instrumented single-source betweenness centrality."""
+
+    name = "bc"
+
+    def __init__(self, graph: Graph, source: int | None = None) -> None:
+        if source is None:
+            source = default_source(graph)
+        self.graph = graph
+        self.source = source
+        self.result: np.ndarray | None = None
+
+    def generate(self, cores: int) -> list[list]:
+        """Execute the kernel, emitting per-core traces; returns them."""
+        graph = self.graph
+        n = graph.num_vertices
+        layout = MemoryLayout()
+        offsets = layout.array("offsets", n + 1, 8)
+        neighbors = layout.array("neighbors", graph.num_edges, 4)
+        depth_ref = layout.array("depth", n, 4)
+        sigma_ref = layout.array("sigma", n, 8)
+        delta_ref = layout.array("delta", n, 8)
+        tracers = make_tracers(cores)
+
+        depth = np.full(n, -1, dtype=np.int64)
+        sigma = np.zeros(n, dtype=np.float64)
+        depth[self.source] = 0
+        sigma[self.source] = 1.0
+        levels: list[list[int]] = [[self.source]]
+
+        # Forward: level-synchronous BFS with path counting.
+        while levels[-1]:
+            frontier = levels[-1]
+            next_frontier: list[int] = []
+            chunks = split_by_weight(
+                graph.degrees()[frontier] + 1, len(tracers)
+            )
+            for tracer, (lo, hi) in zip(tracers, chunks):
+                load = tracer.load
+                for v in frontier[lo:hi]:
+                    start = int(graph.offsets[v])
+                    stop = int(graph.offsets[v + 1])
+                    tracer.scan(offsets, v, v + 2)
+                    tracer.scan(neighbors, start, stop)
+                    for u in graph.neighbors[start:stop]:
+                        u = int(u)
+                        load(depth_ref, u, instructions=2, dep=4)
+                        if depth[u] < 0:
+                            depth[u] = depth[v] + 1
+                            tracer.store(depth_ref, u)
+                            next_frontier.append(u)
+                        if depth[u] == depth[v] + 1:
+                            load(sigma_ref, u, instructions=1, dep=4)
+                            sigma[u] += sigma[v]
+                            tracer.store(sigma_ref, u)
+            barrier_all(tracers)
+            levels.append(next_frontier)
+
+        # Backward: dependency accumulation, levels in reverse.
+        delta = np.zeros(n, dtype=np.float64)
+        for frontier in reversed(levels[:-1]):
+            chunks = split_by_weight(
+                graph.degrees()[frontier] + 1, len(tracers)
+            )
+            for tracer, (lo, hi) in zip(tracers, chunks):
+                load = tracer.load
+                for v in frontier[lo:hi]:
+                    start = int(graph.offsets[v])
+                    stop = int(graph.offsets[v + 1])
+                    tracer.scan(offsets, v, v + 2)
+                    tracer.scan(neighbors, start, stop)
+                    acc = 0.0
+                    for u in graph.neighbors[start:stop]:
+                        u = int(u)
+                        load(depth_ref, u, instructions=2, dep=4)
+                        if depth[u] == depth[v] + 1 and sigma[u] > 0:
+                            load(sigma_ref, u, instructions=1, dep=4)
+                            load(delta_ref, u, instructions=2, dep=4)
+                            acc += sigma[v] / sigma[u] * (1.0 + delta[u])
+                    delta[v] = acc
+                    tracer.store(delta_ref, v)
+            barrier_all(tracers)
+
+        self.result = delta
+        return [tracer.items for tracer in tracers]

@@ -1,0 +1,162 @@
+"""Direction-optimizing breadth-first search (Beamer's algorithm).
+
+Top-down steps walk the frontier's neighbor lists and probe the depth
+array (random loads); once the frontier's edge count passes m/alpha the
+kernel switches to bottom-up steps, where every unvisited vertex scans
+its own neighbor list until it finds a parent in the frontier. This
+direction switching is what produces the distinct forward/backward
+phases visible in the paper's Fig. 7, including the low-parallelism dip
+around the switch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import split_by_weight
+from repro.workloads.gap.graph import Graph, default_source
+from repro.workloads.gap.tracer import (
+    MemoryLayout,
+    barrier_all,
+    make_tracers,
+)
+
+ALPHA = 14  # top-down -> bottom-up when frontier edges > m / ALPHA
+BETA = 24  # bottom-up -> top-down when frontier size < n / BETA
+
+
+def bfs_reference(graph: Graph, source: int) -> np.ndarray:
+    """Plain BFS depths for validation."""
+    n = graph.num_vertices
+    depth = np.full(n, -1, dtype=np.int64)
+    depth[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        next_frontier = []
+        for v in frontier:
+            for u in graph.neighbors_of(v):
+                if depth[u] < 0:
+                    depth[u] = level + 1
+                    next_frontier.append(int(u))
+        frontier = next_frontier
+        level += 1
+    return depth
+
+
+class BfsKernel:
+    """Instrumented direction-optimizing BFS."""
+
+    name = "bfs"
+
+    def __init__(self, graph: Graph, source: int | None = None) -> None:
+        if source is None:
+            source = default_source(graph)
+        self.graph = graph
+        self.source = source
+        self.result: np.ndarray | None = None
+        #: (level, direction, frontier_size) per step, for analysis.
+        self.steps: list[tuple[int, str, int]] = []
+
+    def generate(self, cores: int) -> list[list]:
+        """Execute the kernel, emitting per-core traces; returns them."""
+        graph = self.graph
+        n = graph.num_vertices
+        m = graph.num_edges
+        layout = MemoryLayout()
+        offsets = layout.array("offsets", n + 1, 8)
+        neighbors = layout.array("neighbors", m, 4)
+        depth_ref = layout.array("depth", n, 4)
+        bitmap_ref = layout.array("frontier_bitmap", (n + 7) // 8, 1)
+        tracers = make_tracers(cores)
+        vertex_ranges = split_by_weight(graph.degrees() + 1, cores)
+
+        depth = np.full(n, -1, dtype=np.int64)
+        depth[self.source] = 0
+        frontier = np.array([self.source], dtype=np.int64)
+        degrees = graph.degrees()
+        level = 0
+        bottom_up = False
+
+        while frontier.size:
+            scout = int(degrees[frontier].sum())
+            if not bottom_up and scout > m // ALPHA:
+                bottom_up = True
+            elif bottom_up and frontier.size < n // BETA:
+                bottom_up = False
+            direction = "bottom-up" if bottom_up else "top-down"
+            self.steps.append((level, direction, int(frontier.size)))
+
+            if bottom_up:
+                frontier = self._bottom_up_step(
+                    tracers, vertex_ranges, depth, level,
+                    offsets, neighbors, depth_ref, bitmap_ref,
+                )
+            else:
+                frontier = self._top_down_step(
+                    tracers, frontier, depth, level,
+                    offsets, neighbors, depth_ref,
+                )
+            barrier_all(tracers)
+            level += 1
+
+        self.result = depth
+        return [tracer.items for tracer in tracers]
+
+    # ------------------------------------------------------------------
+    def _top_down_step(
+        self, tracers, frontier, depth, level,
+        offsets, neighbors, depth_ref,
+    ) -> np.ndarray:
+        graph = self.graph
+        next_frontier: list[int] = []
+        chunks = split_by_weight(
+            graph.degrees()[frontier] + 1, len(tracers)
+        )
+        for tracer, (lo, hi) in zip(tracers, chunks):
+            for v in frontier[lo:hi]:
+                start = int(graph.offsets[v])
+                stop = int(graph.offsets[v + 1])
+                tracer.scan(offsets, int(v), int(v) + 2)
+                tracer.scan(neighbors, start, stop)
+                for u in graph.neighbors[start:stop]:
+                    u = int(u)
+                    tracer.load(depth_ref, u, instructions=2, dep=4)
+                    if depth[u] < 0:
+                        depth[u] = level + 1
+                        tracer.store(depth_ref, u)
+                        next_frontier.append(u)
+                    else:
+                        tracer.branch(mispredicts=0, instructions=1)
+        return np.array(sorted(next_frontier), dtype=np.int64)
+
+    def _bottom_up_step(
+        self, tracers, vertex_ranges, depth, level,
+        offsets, neighbors, depth_ref, bitmap_ref,
+    ) -> np.ndarray:
+        graph = self.graph
+        next_frontier: list[int] = []
+        for tracer, (lo, hi) in zip(tracers, vertex_ranges):
+            for v in range(lo, hi):
+                if depth[v] >= 0:
+                    continue
+                start = int(graph.offsets[v])
+                stop = int(graph.offsets[v + 1])
+                tracer.scan(offsets, v, v + 2)
+                found = False
+                for k, u in enumerate(graph.neighbors[start:stop]):
+                    u = int(u)
+                    # Scan the neighbor list lazily; probe the frontier
+                    # bitmap per candidate parent.
+                    if k % 16 == 0:
+                        tracer.scan(neighbors, start + k,
+                                    min(stop, start + k + 16))
+                    tracer.load(bitmap_ref, u // 8, instructions=2, dep=4)
+                    if depth[u] == level:
+                        found = True
+                        break
+                if found:
+                    depth[v] = level + 1
+                    tracer.store(depth_ref, v)
+                    next_frontier.append(v)
+        return np.array(sorted(next_frontier), dtype=np.int64)

@@ -1,0 +1,84 @@
+"""Connected components via min-label propagation (GAP's cc_sv flavor).
+
+Each iteration sweeps all vertices: sequential offset/neighbor scans,
+random component-label loads per edge, and a store when the label
+shrinks. Iterates until a fixed point (graph-diameter-bounded)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import split_by_weight
+from repro.workloads.gap.graph import Graph
+from repro.workloads.gap.tracer import MemoryLayout, barrier_all, make_tracers
+
+
+def cc_reference(graph: Graph) -> np.ndarray:
+    """Min-label components by repeated propagation (ground truth)."""
+    comp = np.arange(graph.num_vertices, dtype=np.int64)
+    changed = True
+    while changed:
+        changed = False
+        for v in range(graph.num_vertices):
+            for u in graph.neighbors_of(v):
+                if comp[u] < comp[v]:
+                    comp[v] = comp[u]
+                    changed = True
+                elif comp[v] < comp[u]:
+                    comp[u] = comp[v]
+                    changed = True
+    return comp
+
+
+class CcKernel:
+    """Instrumented label-propagation connected components."""
+
+    name = "cc"
+
+    def __init__(self, graph: Graph, max_iterations: int = 10) -> None:
+        self.graph = graph
+        self.max_iterations = max_iterations
+        self.result: np.ndarray | None = None
+        self.iterations_run = 0
+
+    def generate(self, cores: int) -> list[list]:
+        """Execute the kernel, emitting per-core traces; returns them."""
+        graph = self.graph
+        n = graph.num_vertices
+        layout = MemoryLayout()
+        offsets = layout.array("offsets", n + 1, 8)
+        neighbors = layout.array("neighbors", graph.num_edges, 4)
+        comp_ref = layout.array("comp", n, 8)
+        tracers = make_tracers(cores)
+        ranges = split_by_weight(graph.degrees() + 1, cores)
+
+        comp = np.arange(n, dtype=np.int64)
+        graph_offsets = graph.offsets
+        graph_neighbors = graph.neighbors
+
+        for iteration in range(self.max_iterations):
+            changed = False
+            for tracer, (lo, hi) in zip(tracers, ranges):
+                load = tracer.load
+                for v in range(lo, hi):
+                    start = graph_offsets[v]
+                    stop = graph_offsets[v + 1]
+                    tracer.scan(offsets, v, v + 2)
+                    tracer.scan(neighbors, int(start), int(stop))
+                    best = comp[v]
+                    load(comp_ref, v, instructions=1)
+                    for u in graph_neighbors[start:stop]:
+                        load(comp_ref, int(u), instructions=2, dep=4)
+                        if comp[u] < best:
+                            best = comp[u]
+                    if best < comp[v]:
+                        comp[v] = best
+                        tracer.store(comp_ref, v)
+                        changed = True
+            barrier_all(tracers)
+            self.iterations_run = iteration + 1
+            if not changed:
+                break
+
+        self.result = comp
+        return [tracer.items for tracer in tracers]

@@ -1,0 +1,106 @@
+"""Single-source shortest paths: frontier-based Bellman-Ford relaxation.
+
+GAP uses delta-stepping; the memory behaviour that matters here — walk
+the frontier's adjacency (sequential), probe and update distances
+(random) — is the same for the frontier-relaxation variant, which keeps
+the instrumented kernel simple and exactly verifiable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import split_by_weight
+from repro.workloads.gap.graph import Graph, default_source
+from repro.workloads.gap.tracer import MemoryLayout, barrier_all, make_tracers
+
+INFINITY = np.iinfo(np.int64).max // 4
+
+
+def sssp_reference(graph: Graph, source: int) -> np.ndarray:
+    """Bellman-Ford distances for validation."""
+    if graph.weights is None:
+        raise WorkloadError("sssp needs a weighted graph")
+    n = graph.num_vertices
+    dist = np.full(n, INFINITY, dtype=np.int64)
+    dist[source] = 0
+    for __ in range(n):
+        changed = False
+        for v in range(n):
+            if dist[v] >= INFINITY:
+                continue
+            start, stop = graph.edge_range(v)
+            for k in range(start, stop):
+                u = graph.neighbors[k]
+                w = graph.weights[k]
+                if dist[v] + w < dist[u]:
+                    dist[u] = dist[v] + w
+                    changed = True
+        if not changed:
+            break
+    return dist
+
+
+class SsspKernel:
+    """Instrumented frontier-relaxation SSSP."""
+
+    name = "sssp"
+
+    def __init__(self, graph: Graph, source: int | None = None) -> None:
+        if source is None:
+            source = default_source(graph)
+        if graph.weights is None:
+            raise WorkloadError("sssp needs a weighted graph")
+        self.graph = graph
+        self.source = source
+        self.result: np.ndarray | None = None
+        self.rounds = 0
+
+    def generate(self, cores: int) -> list[list]:
+        """Execute the kernel, emitting per-core traces; returns them."""
+        graph = self.graph
+        n = graph.num_vertices
+        layout = MemoryLayout()
+        offsets = layout.array("offsets", n + 1, 8)
+        neighbors = layout.array("neighbors", graph.num_edges, 4)
+        weights_ref = layout.array("weights", graph.num_edges, 4)
+        dist_ref = layout.array("dist", n, 8)
+        tracers = make_tracers(cores)
+
+        dist = np.full(n, INFINITY, dtype=np.int64)
+        dist[self.source] = 0
+        frontier = np.array([self.source], dtype=np.int64)
+        graph_offsets = graph.offsets
+        graph_neighbors = graph.neighbors
+        graph_weights = graph.weights
+
+        while frontier.size:
+            self.rounds += 1
+            next_set: set[int] = set()
+            chunks = split_by_weight(
+                graph.degrees()[frontier] + 1, len(tracers)
+            )
+            for tracer, (lo, hi) in zip(tracers, chunks):
+                load = tracer.load
+                for v in frontier[lo:hi]:
+                    v = int(v)
+                    start = int(graph_offsets[v])
+                    stop = int(graph_offsets[v + 1])
+                    tracer.scan(offsets, v, v + 2)
+                    tracer.scan(neighbors, start, stop)
+                    tracer.scan(weights_ref, start, stop)
+                    base = dist[v]
+                    for k in range(start, stop):
+                        u = int(graph_neighbors[k])
+                        load(dist_ref, u, instructions=2, dep=4)
+                        candidate = base + graph_weights[k]
+                        if candidate < dist[u]:
+                            dist[u] = candidate
+                            tracer.store(dist_ref, u)
+                            next_set.add(u)
+            barrier_all(tracers)
+            frontier = np.array(sorted(next_set), dtype=np.int64)
+
+        self.result = dist
+        return [tracer.items for tracer in tracers]

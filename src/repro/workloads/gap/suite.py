@@ -1,0 +1,106 @@
+"""GAP kernel registry and workload wrapper."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cpu.cache import CacheConfig
+from repro.cpu.core import TraceItem
+from repro.cpu.hierarchy import HierarchyConfig
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.gap.bc import BcKernel
+from repro.workloads.gap.bfs import BfsKernel
+from repro.workloads.gap.cc import CcKernel
+from repro.workloads.gap.graph import Graph, kronecker_graph
+from repro.workloads.gap.pr import PageRankKernel
+from repro.workloads.gap.sssp import SsspKernel
+from repro.workloads.gap.tc import TcKernel
+
+#: The six GAP kernels, as in the paper's Fig. 9.
+GAP_KERNELS = ("bc", "bfs", "cc", "pr", "sssp", "tc")
+
+_KERNEL_CLASSES = {
+    "bc": BcKernel,
+    "bfs": BfsKernel,
+    "cc": CcKernel,
+    "pr": PageRankKernel,
+    "sssp": SsspKernel,
+    "tc": TcKernel,
+}
+
+
+def make_kernel(name: str, graph: Graph, **params):
+    """Instantiate a kernel by name."""
+    if name not in _KERNEL_CLASSES:
+        raise WorkloadError(
+            f"unknown GAP kernel {name!r}; expected one of {GAP_KERNELS}"
+        )
+    return _KERNEL_CLASSES[name](graph, **params)
+
+
+def gap_hierarchy() -> HierarchyConfig:
+    """Cache hierarchy scaled down to match the scaled-down graphs.
+
+    The paper runs full-size GAP graphs against a 32 KB / 1 MB / 11 MB
+    hierarchy; we run Kronecker graphs at scale ~13-15, so the caches
+    shrink proportionally to preserve the cache-to-working-set ratio
+    (and with it the DRAM access mix). See DESIGN.md, substitutions.
+    """
+    return HierarchyConfig(
+        l1=CacheConfig(8 * 1024, ways=8, latency=1),
+        l2=CacheConfig(32 * 1024, ways=8, latency=5),
+        llc=CacheConfig(256 * 1024, ways=8, latency=14),
+        llc_slices=8,
+    )
+
+
+class GapWorkload(Workload):
+    """A GAP kernel run on a Kronecker graph, as a Workload.
+
+    The traces are generated lazily on the first :meth:`traces` call (the
+    kernel executes the real algorithm while emitting its reference
+    stream); the algorithm's result is exposed as :attr:`result` for
+    validation.
+    """
+
+    def __init__(
+        self,
+        kernel: str,
+        graph: Graph | None = None,
+        scale: int = 13,
+        degree: int = 8,
+        seed: int = 42,
+        **params,
+    ) -> None:
+        self.name = kernel
+        if graph is None:
+            graph = kronecker_graph(
+                scale, degree=degree, weighted=(kernel == "sssp"), seed=seed,
+            )
+        self.graph = graph
+        self.params = params
+        self._kernel = None
+
+    @property
+    def kernel(self):
+        """The kernel instance (created lazily)."""
+        if self._kernel is None:
+            self._kernel = make_kernel(self.name, self.graph, **self.params)
+        return self._kernel
+
+    @property
+    def result(self):
+        """The algorithm's result after trace generation."""
+        return self.kernel.result
+
+    def traces(self, cores: int) -> list[Iterable[TraceItem]]:
+        """One instruction trace per core."""
+        return self.kernel.generate(cores)
+
+    def describe(self) -> str:
+        """One-line graph/kernel descriptor."""
+        return (
+            f"gap:{self.name} n={self.graph.num_vertices} "
+            f"m={self.graph.num_edges}"
+        )

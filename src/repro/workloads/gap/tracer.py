@@ -1,0 +1,151 @@
+"""Memory layout and trace emission for the GAP kernels.
+
+Kernels declare their arrays in a :class:`MemoryLayout` (page-aligned,
+disjoint address ranges) and drive one :class:`CoreTracer` per core.
+Sequential scans are coalesced to one trace item per cache line (the
+elements in between would be L1 hits and only inflate the trace), while
+point accesses — the data-dependent property loads that dominate graph
+kernels — emit individually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import TraceItem
+from repro.errors import WorkloadError
+
+_PAGE = 8 * 1024
+_LINE = 64
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A virtual array placed in the simulated address space."""
+
+    name: str
+    base: int
+    elem_bytes: int
+    count: int
+
+    def addr(self, index: int) -> int:
+        """Byte address of element `index`."""
+        return self.base + index * self.elem_bytes
+
+    def line_of(self, index: int) -> int:
+        """Cache-line number of element `index`."""
+        return self.addr(index) // _LINE
+
+    @property
+    def size_bytes(self) -> int:
+        """Array size in bytes."""
+        return self.count * self.elem_bytes
+
+
+class MemoryLayout:
+    """Allocates page-aligned virtual arrays for a kernel's data."""
+
+    def __init__(self, base_address: int = 1 << 29) -> None:
+        if base_address % _PAGE:
+            raise WorkloadError("layout base must be page-aligned")
+        self._next = base_address
+        self.arrays: dict[str, ArrayRef] = {}
+
+    def array(self, name: str, count: int, elem_bytes: int) -> ArrayRef:
+        """Place an array; returns its reference."""
+        if name in self.arrays:
+            raise WorkloadError(f"array {name!r} already allocated")
+        ref = ArrayRef(name, self._next, elem_bytes, count)
+        size = count * elem_bytes
+        self._next += (size + _PAGE - 1) // _PAGE * _PAGE + _PAGE
+        self.arrays[name] = ref
+        return ref
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes across all arrays."""
+        return sum(ref.size_bytes for ref in self.arrays.values())
+
+
+class CoreTracer:
+    """Accumulates one core's trace items."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self.items: list[TraceItem] = []
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        ref: ArrayRef,
+        index: int,
+        instructions: int = 2,
+        dep: int = 0,
+    ) -> None:
+        """A point load of ``ref[index]``."""
+        self.items.append(TraceItem(
+            instructions=instructions,
+            address=ref.addr(index),
+            dependency_distance=dep,
+        ))
+
+    def store(self, ref: ArrayRef, index: int, instructions: int = 1) -> None:
+        """A point store to ``ref[index]``."""
+        self.items.append(TraceItem(
+            instructions=instructions,
+            address=ref.addr(index),
+            is_store=True,
+        ))
+
+    def scan(
+        self,
+        ref: ArrayRef,
+        start: int,
+        stop: int,
+        instructions_per_elem: int = 1,
+        store: bool = False,
+    ) -> None:
+        """A sequential sweep over ``ref[start:stop]``.
+
+        Emits one item per cache line touched; the per-element work is
+        folded into the item's instruction count.
+        """
+        if stop <= start:
+            return
+        per_line = max(1, _LINE // ref.elem_bytes)
+        index = start
+        while index < stop:
+            line_end = min(stop, (index // per_line + 1) * per_line)
+            elems = line_end - index
+            self.items.append(TraceItem(
+                instructions=elems * instructions_per_elem,
+                address=ref.addr(index),
+                is_store=store,
+            ))
+            index = line_end
+
+    def work(self, instructions: int) -> None:
+        """Non-memory computation."""
+        if instructions > 0:
+            self.items.append(TraceItem(instructions=instructions))
+
+    def branch(self, mispredicts: int = 1, instructions: int = 2) -> None:
+        """A data-dependent, poorly-predicted branch."""
+        self.items.append(TraceItem(
+            instructions=instructions, branch_mispredicts=mispredicts,
+        ))
+
+    def barrier(self) -> None:
+        """Synchronize with all other cores."""
+        self.items.append(TraceItem(barrier=True))
+
+
+def make_tracers(cores: int) -> list[CoreTracer]:
+    """One CoreTracer per core."""
+    return [CoreTracer(core_id) for core_id in range(cores)]
+
+
+def barrier_all(tracers: list[CoreTracer]) -> None:
+    """Append a barrier item to every tracer."""
+    for tracer in tracers:
+        tracer.barrier()

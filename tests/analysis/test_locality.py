@@ -1,0 +1,103 @@
+"""Tests for the row-buffer locality analyzer."""
+
+import pytest
+
+from repro.analysis.locality import (
+    analyze_addresses,
+    analyze_trace_items,
+    compare_mappings,
+)
+from repro.cpu.core import TraceItem
+from repro.dram.address import AddressMapping
+from repro.dram.timing import Organization
+from repro.errors import AccountingError
+
+ORG = Organization()
+DEFAULT = AddressMapping.default_scheme(ORG)
+INTERLEAVED = AddressMapping.interleaved_scheme(ORG)
+
+
+class TestIdealHitRate:
+    def test_sequential_is_nearly_all_hits(self):
+        addresses = [i * 64 for i in range(512)]
+        report = analyze_addresses(addresses, DEFAULT)
+        # One miss per 128-line page.
+        assert report.ideal_page_hit_rate == pytest.approx(
+            1 - 4 / 512, abs=0.01
+        )
+
+    def test_row_stride_is_all_misses(self):
+        addresses = [i * (1 << 21) for i in range(100)]
+        report = analyze_addresses(addresses, DEFAULT)
+        assert report.ideal_page_hit_rate == 0.0
+
+    def test_repeated_address_is_all_hits(self):
+        report = analyze_addresses([4096] * 50, DEFAULT)
+        assert report.ideal_page_hit_rate == pytest.approx(49 / 50)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(AccountingError):
+            analyze_addresses([], DEFAULT)
+
+
+class TestBankDistribution:
+    def test_single_page_hits_one_bank(self):
+        addresses = [i * 64 for i in range(64)]
+        report = analyze_addresses(addresses, DEFAULT)
+        assert len(report.bank_counts) == 1
+        assert report.bank_imbalance == pytest.approx(1.0)
+
+    def test_interleaved_spreads_banks(self):
+        addresses = [i * 64 for i in range(64)]
+        default = analyze_addresses(addresses, DEFAULT)
+        inter = analyze_addresses(addresses, INTERLEAVED)
+        assert len(inter.bank_counts) == 16
+        assert len(default.bank_counts) == 1
+
+    def test_imbalance_metric(self):
+        # 3 accesses to one bank, 1 to another: max/mean = 3/2.
+        a = 0  # bank (0,0)
+        b = 1 << 15  # different bank under the default scheme
+        report = analyze_addresses([a, a, a, b], DEFAULT)
+        assert report.bank_imbalance == pytest.approx(1.5)
+
+
+class TestReuseHistogram:
+    def test_immediate_reuse_distance_zero(self):
+        addresses = [0, 64, 0]  # same row, revisited immediately
+        report = analyze_addresses(addresses, DEFAULT)
+        assert report.reuse_histogram.get(0, 0) >= 1
+
+    def test_far_reuse_distance_counts_intervening_rows(self):
+        row = 1 << 21
+        addresses = [0, row, 2 * row, 0]  # 2 distinct rows in between
+        report = analyze_addresses(addresses, DEFAULT)
+        assert 2 in report.reuse_histogram
+
+
+class TestHelpers:
+    def test_trace_items_filtered(self):
+        items = [
+            TraceItem(instructions=5),  # no memory op
+            TraceItem(instructions=1, address=0),
+            TraceItem(instructions=1, address=64),
+        ]
+        report = analyze_trace_items(items, DEFAULT)
+        assert report.accesses == 2
+
+    def test_compare_mappings(self):
+        addresses = [i * 64 for i in range(128)]
+        reports = compare_mappings(
+            addresses,
+            {"default": DEFAULT, "interleaved": INTERLEAVED},
+        )
+        assert reports["default"].ideal_page_hit_rate > \
+            reports["interleaved"].ideal_page_hit_rate - 1e-9
+        assert len(reports["interleaved"].bank_counts) > \
+            len(reports["default"].bank_counts)
+
+    def test_summary_text(self):
+        report = analyze_addresses([0, 64, 128], DEFAULT)
+        text = report.summary()
+        assert "ideal page hit rate" in text
+        assert "banks touched" in text

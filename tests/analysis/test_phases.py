@@ -1,0 +1,76 @@
+"""Tests for phase detection on stack series."""
+
+import pytest
+
+from repro.analysis.phases import describe_phases, detect_phases
+from repro.errors import AccountingError
+from repro.stacks.components import Stack, StackSeries
+
+
+def bw(read, label=""):
+    return Stack({"read": read, "idle": 19.2 - read}, "GB/s", label)
+
+
+def series_of(values):
+    return StackSeries(
+        [bw(v, f"[{i}]") for i, v in enumerate(values)],
+        bin_cycles=1200, cycle_ns=0.8333,
+    )
+
+
+class TestDetect:
+    def test_uniform_series_is_one_phase(self):
+        phases = detect_phases(series_of([5.0] * 8))
+        assert len(phases) == 1
+        assert phases[0].bins == 8
+
+    def test_step_change_splits(self):
+        phases = detect_phases(series_of([2.0] * 4 + [15.0] * 4))
+        assert len(phases) == 2
+        assert phases[0].last_bin == 3
+        assert phases[1].first_bin == 4
+
+    def test_phase_means(self):
+        phases = detect_phases(series_of([2.0] * 4 + [15.0] * 4))
+        assert phases[0].stack["read"] == pytest.approx(2.0)
+        assert phases[1].stack["read"] == pytest.approx(15.0)
+
+    def test_small_noise_does_not_split(self):
+        values = [8.0, 8.3, 7.9, 8.1, 8.2, 7.8]
+        assert len(detect_phases(series_of(values))) == 1
+
+    def test_min_bins_absorbs_glitch(self):
+        values = [2.0] * 4 + [15.0] + [2.0] * 4
+        merged = detect_phases(series_of(values), min_bins=2)
+        assert len(merged) == 1
+
+    def test_short_leading_phase_joins_successor(self):
+        values = [15.0] + [2.0] * 6
+        phases = detect_phases(series_of(values), min_bins=2)
+        assert len(phases) == 1
+        assert phases[0].first_bin == 0
+
+    def test_times(self):
+        phases = detect_phases(series_of([2.0] * 4 + [15.0] * 4))
+        bin_ms = 1200 * 0.8333 / 1e6
+        assert phases[0].start_ms == 0.0
+        assert phases[0].end_ms == pytest.approx(4 * bin_ms)
+        assert phases[1].end_ms == pytest.approx(8 * bin_ms)
+        assert phases[0].duration_ms == pytest.approx(4 * bin_ms)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AccountingError):
+            detect_phases(StackSeries([], 1000, 0.8))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(AccountingError):
+            detect_phases(series_of([1.0]), threshold=0)
+
+
+class TestDescribe:
+    def test_mentions_every_phase(self):
+        phases = detect_phases(series_of([2.0] * 3 + [15.0] * 3))
+        text = describe_phases(phases, ("read",))
+        assert "2 phase(s):" in text
+        assert "read=2.00" in text
+        assert "read=15.00" in text

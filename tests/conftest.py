@@ -1,0 +1,72 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram import (
+    ControllerConfig,
+    DDR4_2400,
+    MemoryController,
+    Request,
+    RequestType,
+)
+
+
+@pytest.fixture
+def spec():
+    """The paper's DDR4-2400 timing spec."""
+    return DDR4_2400
+
+
+@pytest.fixture
+def controller():
+    """A fresh controller in the paper's default configuration."""
+    return MemoryController(ControllerConfig())
+
+
+def make_reads(
+    count: int,
+    stride: int = 64,
+    gap: int = 4,
+    start_address: int = 0,
+    start_time: int = 0,
+    core_id: int = 0,
+) -> list[Request]:
+    """A regular stream of read requests."""
+    return [
+        Request(
+            RequestType.READ,
+            start_address + i * stride,
+            arrival=start_time + i * gap,
+            core_id=core_id,
+        )
+        for i in range(count)
+    ]
+
+
+def make_writes(
+    count: int,
+    stride: int = 64,
+    gap: int = 4,
+    start_address: int = 0,
+    start_time: int = 0,
+) -> list[Request]:
+    """A regular stream of write requests."""
+    return [
+        Request(
+            RequestType.WRITE,
+            start_address + i * stride,
+            arrival=start_time + i * gap,
+        )
+        for i in range(count)
+    ]
+
+
+def run_stream(controller: MemoryController, requests: list[Request]):
+    """Enqueue a request stream, drain it, and finalize accounting."""
+    for request in requests:
+        controller.enqueue(request)
+    controller.drain()
+    controller.finalize()
+    return controller

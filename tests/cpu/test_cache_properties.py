@@ -1,0 +1,119 @@
+"""Property-based tests for the cache model (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cache import CacheConfig, SetAssociativeCache, SharedCache
+
+
+def reference_lru(accesses, ways, sets):
+    """Dict-based reference model of a set-associative LRU cache."""
+    state = {s: [] for s in range(sets)}  # per set, MRU last
+    hits = []
+    for line, is_write in accesses:
+        bucket = state[line % sets]
+        entry = next((e for e in bucket if e[0] == line), None)
+        if entry is not None:
+            bucket.remove(entry)
+            bucket.append((line, entry[1] or is_write))
+            hits.append(True)
+        else:
+            hits.append(False)
+    return hits
+
+
+access_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63),  # line numbers
+        st.booleans(),
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(access_streams)
+def test_lookup_matches_reference_lru(accesses):
+    ways, sets = 2, 4
+    cache = SetAssociativeCache(
+        CacheConfig(ways * sets * 64, ways=ways, line_bytes=64)
+    )
+    expected = reference_lru_full(accesses, ways, sets)
+    for (line, is_write), want_hit in zip(accesses, expected):
+        got_hit = cache.lookup(line, is_write)
+        if not got_hit:
+            cache.insert(line, dirty=is_write)
+        assert got_hit == want_hit
+
+
+def reference_lru_full(accesses, ways, sets):
+    """LRU with insertion on miss and capacity eviction."""
+    state = {s: [] for s in range(sets)}
+    hits = []
+    for line, is_write in accesses:
+        bucket = state[line % sets]
+        entry = next((e for e in bucket if e[0] == line), None)
+        if entry is not None:
+            bucket.remove(entry)
+            bucket.append([line, entry[1] or is_write])
+            hits.append(True)
+        else:
+            hits.append(False)
+            if len(bucket) >= ways:
+                bucket.pop(0)
+            bucket.append([line, is_write])
+    return hits
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_streams)
+def test_occupancy_never_exceeds_capacity(accesses):
+    ways, sets = 2, 4
+    cache = SetAssociativeCache(
+        CacheConfig(ways * sets * 64, ways=ways, line_bytes=64)
+    )
+    for line, is_write in accesses:
+        if not cache.lookup(line, is_write):
+            cache.insert(line, dirty=is_write)
+        assert cache.occupancy() <= ways * sets
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_streams)
+def test_dirty_data_is_never_silently_lost(accesses):
+    """Every dirtied line is either still cached (dirty) or was reported
+    as a dirty eviction."""
+    ways, sets = 2, 2
+    cache = SetAssociativeCache(
+        CacheConfig(ways * sets * 64, ways=ways, line_bytes=64)
+    )
+    dirty_out = set()
+    dirtied = set()
+    for line, is_write in accesses:
+        if is_write:
+            dirtied.add(line)
+        if not cache.lookup(line, is_write):
+            evicted = cache.insert(line, dirty=is_write)
+            if evicted is not None and evicted[1]:
+                dirty_out.add(evicted[0])
+    for line in dirtied:
+        in_cache_dirty = cache.contains(line) and cache.invalidate(line)
+        assert in_cache_dirty or line in dirty_out
+
+
+@settings(max_examples=60, deadline=None)
+@given(access_streams)
+def test_shared_cache_slices_are_independent(accesses):
+    llc = SharedCache(CacheConfig(8 * 64 * 2, ways=2), slices=2)
+    flat = SetAssociativeCache(CacheConfig(8 * 64 * 2, ways=2))
+    # Same accesses; the sliced cache must behave like *a* cache (no
+    # lost lines, bounded occupancy), though hit patterns may differ.
+    for line, is_write in accesses:
+        if not llc.lookup(line, is_write):
+            llc.insert(line, dirty=is_write)
+        if not flat.lookup(line, is_write):
+            flat.insert(line, dirty=is_write)
+    total = sum(s.occupancy() for s in llc._slices)
+    assert total <= 16
+    stats = llc.stats
+    assert stats.accesses == len(accesses)

@@ -1,0 +1,130 @@
+"""Unit tests for address mapping (paper Fig. 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.address import AddressMapping, Coordinates
+from repro.dram.timing import Organization
+from repro.errors import ConfigurationError
+
+ORG = Organization()
+
+
+class TestDefaultScheme:
+    """Fig. 5(a): row | bank | bank-group | column | offset."""
+
+    def setup_method(self):
+        self.mapping = AddressMapping.default_scheme(ORG)
+
+    def test_layout(self):
+        # 32 address bits total: 15 row, 2 bank, 2 bg, 7 column, 6 offset.
+        assert self.mapping.address_bits == 32
+        assert self.mapping.capacity_bytes == 4 * 1024**3
+
+    def test_consecutive_lines_same_bank(self):
+        a = self.mapping.decode(0)
+        b = self.mapping.decode(64)
+        assert (a.bank_group, a.bank, a.row) == (b.bank_group, b.bank, b.row)
+        assert b.column == a.column + 1
+
+    def test_page_crossing_changes_bank_group(self):
+        # After 128 lines (one 8 KB page) the stream moves to the next
+        # bank group.
+        a = self.mapping.decode(0)
+        b = self.mapping.decode(128 * 64)
+        assert a.row == b.row
+        assert (a.bank_group, a.bank) != (b.bank_group, b.bank)
+
+    def test_describe_mentions_all_fields(self):
+        text = self.mapping.describe()
+        for field in ("row", "bank", "bank_group", "column", "offset"):
+            assert field in text
+
+
+class TestInterleavedScheme:
+    """Fig. 5(b): row | column | bank | bank-group | offset."""
+
+    def setup_method(self):
+        self.mapping = AddressMapping.interleaved_scheme(ORG)
+
+    def test_consecutive_lines_rotate_bank_groups(self):
+        coords = [self.mapping.decode(i * 64) for i in range(4)]
+        groups = {c.bank_group for c in coords}
+        assert len(groups) == 4
+
+    def test_wraps_to_same_page_after_all_banks(self):
+        # Paper: "once all banks are accessed, the stream returns to the
+        # first bank on the same page".
+        first = self.mapping.decode(0)
+        wrapped = self.mapping.decode(16 * 64)
+        assert (wrapped.bank_group, wrapped.bank) == (
+            first.bank_group, first.bank,
+        )
+        assert wrapped.row == first.row
+        assert wrapped.column == first.column + 1
+
+    def test_sequential_stream_touches_all_16_banks(self):
+        banks = {
+            (c.bank_group, c.bank)
+            for c in (self.mapping.decode(i * 64) for i in range(16))
+        }
+        assert len(banks) == 16
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_default_encode_inverts_decode(self, address):
+        mapping = AddressMapping.default_scheme(ORG)
+        line = mapping.line_address(address)
+        coords = mapping.decode(line)
+        assert mapping.encode(coords) == line
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_interleaved_encode_inverts_decode(self, address):
+        mapping = AddressMapping.interleaved_scheme(ORG)
+        line = mapping.line_address(address)
+        coords = mapping.decode(line)
+        assert mapping.encode(coords) == line
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_schemes_are_bijections_between_each_other(self, address):
+        # Distinct lines decode to distinct coordinates in both schemes.
+        default = AddressMapping.default_scheme(ORG)
+        inter = AddressMapping.interleaved_scheme(ORG)
+        line = default.line_address(address)
+        assert inter.encode(inter.decode(line)) == line
+
+
+class TestFlatBankIndex:
+    def test_covers_all_banks_exactly_once(self):
+        mapping = AddressMapping.default_scheme(ORG)
+        seen = set()
+        for bg in range(4):
+            for b in range(4):
+                coords = Coordinates(0, 0, bg, b, 0, 0)
+                seen.add(mapping.flat_bank_index(coords))
+        assert seen == set(range(16))
+
+
+class TestValidation:
+    def test_unknown_scheme_name(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping.from_name("banana", ORG)
+
+    def test_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(ORG, order=("row", "bank", "nonsense", "column"))
+
+    def test_duplicate_field(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(ORG, order=("row", "row", "bank", "column"))
+
+    def test_missing_field(self):
+        with pytest.raises(ConfigurationError):
+            AddressMapping(ORG, order=("row", "bank", "column"))
+
+    def test_multi_channel_mapping(self):
+        mapping = AddressMapping.from_name("default", ORG, channels=2)
+        a = mapping.decode(0)
+        b = mapping.decode(64)
+        assert a.channel != b.channel

@@ -1,0 +1,117 @@
+"""Unit tests for rank/bank-group/channel timing constraints."""
+
+from repro.dram.rank import Block, BlockScope, RankTiming
+from repro.dram.timing import DDR4_2400
+
+SPEC = DDR4_2400
+
+
+def make_rank():
+    return RankTiming(SPEC)
+
+
+class TestCasSpacing:
+    def test_unconstrained_cas_is_free(self):
+        rank = make_rank()
+        block = rank.earliest_cas(100, bank_group=0, is_write=False)
+        assert block.time == 100
+        assert block.scope is BlockScope.NONE
+
+    def test_same_group_ccd_l(self):
+        rank = make_rank()
+        rank.record_cas(100, bank_group=0, is_write=False)
+        block = rank.earliest_cas(101, bank_group=0, is_write=False)
+        assert block.time == 100 + SPEC.tCCD_L
+        assert block.scope is BlockScope.BANK_GROUP
+        assert block.reason == "tCCD_L"
+
+    def test_other_group_ccd_s(self):
+        rank = make_rank()
+        rank.record_cas(100, bank_group=0, is_write=False)
+        block = rank.earliest_cas(101, bank_group=1, is_write=False)
+        assert block.time == 100 + SPEC.tCCD_S
+        # tCCD_S and the data bus bind at the same cycle; both are
+        # rank/channel-wide constraints.
+        assert block.scope in (BlockScope.RANK, BlockScope.CHANNEL)
+
+    def test_read_to_write_turnaround(self):
+        rank = make_rank()
+        rank.record_cas(100, bank_group=0, is_write=False)
+        block = rank.earliest_cas(101, bank_group=2, is_write=True)
+        assert block.time >= 100 + SPEC.read_to_write
+
+    def test_write_to_read_same_group(self):
+        rank = make_rank()
+        __, data_end = rank.record_cas(100, bank_group=0, is_write=True)
+        block = rank.earliest_cas(101, bank_group=0, is_write=False)
+        assert block.time == data_end + SPEC.tWTR_L
+        assert block.scope is BlockScope.BANK_GROUP
+
+    def test_write_to_read_other_group_shorter(self):
+        rank = make_rank()
+        rank.record_cas(100, bank_group=0, is_write=True)
+        same = rank.earliest_cas(101, bank_group=0, is_write=False)
+        other = rank.earliest_cas(101, bank_group=1, is_write=False)
+        assert other.time < same.time
+
+    def test_data_bus_never_overlaps(self):
+        rank = make_rank()
+        for t_try in range(200):
+            block = rank.earliest_cas(t_try, bank_group=t_try % 4,
+                                      is_write=False)
+            start, end = rank.record_cas(
+                max(t_try, block.time), bank_group=t_try % 4, is_write=False
+            )
+            assert start + SPEC.burst_cycles == end
+
+
+class TestActSpacing:
+    def test_same_group_rrd_l(self):
+        rank = make_rank()
+        rank.record_act(100, bank_group=0)
+        block = rank.earliest_act(101, bank_group=0)
+        assert block.time == 100 + SPEC.tRRD_L
+        assert block.scope is BlockScope.BANK_GROUP
+
+    def test_other_group_rrd_s(self):
+        rank = make_rank()
+        rank.record_act(100, bank_group=0)
+        block = rank.earliest_act(101, bank_group=1)
+        assert block.time == 100 + SPEC.tRRD_S
+        assert block.scope is BlockScope.RANK
+
+    def test_faw_blocks_fifth_activate(self):
+        rank = make_rank()
+        times = [100, 105, 110, 115]
+        for i, t in enumerate(times):
+            rank.record_act(t, bank_group=i % 4)
+        block = rank.earliest_act(116, bank_group=0)
+        assert block.time >= times[0] + SPEC.tFAW
+        assert block.reason in ("tFAW", "tRRD_L")
+
+    def test_faw_window_slides(self):
+        rank = make_rank()
+        for i, t in enumerate([0, 10, 20, 30]):
+            rank.record_act(t, bank_group=i % 4)
+        rank.record_act(SPEC.tFAW, bank_group=0)
+        # Now the window is [10, 20, 30, tFAW]; next gated by 10 + tFAW.
+        block = rank.earliest_act(SPEC.tFAW + 1, bank_group=1)
+        assert block.time == max(SPEC.tFAW + 1, 10 + SPEC.tFAW)
+
+
+class TestBlock:
+    def test_free_constructor(self):
+        block = Block.free(42)
+        assert block.time == 42
+        assert block.scope is BlockScope.NONE
+
+    def test_data_in_flight_blocks_next_read(self):
+        rank = make_rank()
+        start, end = rank.record_cas(100, bank_group=0, is_write=False)
+        # A read to another group 1 cycle later is gated by tCCD_S, which
+        # exactly paces the data bus for back-to-back bursts.
+        block = rank.earliest_cas(101, bank_group=1, is_write=False)
+        next_start, next_end = rank.record_cas(
+            block.time, bank_group=1, is_write=False
+        )
+        assert next_start >= end

@@ -1,0 +1,46 @@
+"""Tests for figure output emission (tables + SVG files)."""
+
+import os
+
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult
+from repro.stacks.components import Stack, StackSeries
+
+
+def figure_with_data():
+    figure = FigureResult("figX")
+    figure.bandwidth.append(
+        Stack({"read": 5.0, "idle": 14.2}, "GB/s", "a 1c")
+    )
+    figure.latency.append(Stack({"base": 50.0, "queue": 10.0}, "ns", "a 1c"))
+    figure.series["bandwidth"] = StackSeries(
+        [Stack({"read": float(i), "idle": 19.2 - i}, "GB/s", f"[{i}]")
+         for i in range(4)],
+        bin_cycles=1000, cycle_ns=0.83,
+    )
+    figure.extra["note"] = "hello extra"
+    return figure
+
+
+class TestEmit:
+    def test_prints_tables(self, capsys):
+        emit(figure_with_data(), output_dir=None)
+        out = capsys.readouterr().out
+        assert "bandwidth stacks" in out
+        assert "latency stacks" in out
+        assert "hello extra" in out
+
+    def test_writes_svgs(self, tmp_path, capsys):
+        emit(figure_with_data(), output_dir=str(tmp_path))
+        files = sorted(os.listdir(tmp_path))
+        assert "figX_bandwidth.svg" in files
+        assert "figX_latency.svg" in files
+        assert "figX_bandwidth.svg" in files
+        assert any(name.endswith("_bandwidth.svg") for name in files)
+        # The series chart too.
+        assert len([f for f in files if f.endswith(".svg")]) == 3
+
+    def test_silent_mode(self, capsys):
+        text = emit(figure_with_data(), output_dir=None, echo=False)
+        assert capsys.readouterr().out == ""
+        assert "bandwidth stacks" in text

@@ -1,0 +1,79 @@
+"""Tests for the experiment infrastructure (not the figures themselves —
+those are covered by the benchmark suite's shape assertions)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import SCALES, get_scale, paper_system
+from repro.experiments.runner import FigureResult, run_gap, run_synthetic
+from repro.stacks.components import Stack
+
+
+class TestScales:
+    def test_known_scales(self):
+        assert get_scale("ci").name == "ci"
+        assert get_scale("paper").synthetic_accesses > get_scale(
+            "ci"
+        ).synthetic_accesses
+
+    def test_scale_object_passthrough(self):
+        scale = SCALES["ci"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("gigantic")
+
+
+class TestPaperSystem:
+    def test_defaults_match_paper(self):
+        config = paper_system()
+        assert config.cores == 1
+        assert config.memory.spec.peak_bandwidth_gbps == pytest.approx(19.2)
+        assert config.memory.scheduling == "fr-fcfs"
+        assert config.core.rob_size == 224
+
+    def test_gap_hierarchy_is_smaller(self):
+        full = paper_system().hierarchy.llc.size_bytes
+        scaled = paper_system(gap=True).hierarchy.llc.size_bytes
+        assert scaled < full
+
+    def test_options_forwarded(self):
+        config = paper_system(
+            cores=4, page_policy="closed", address_scheme="interleaved",
+            write_queue_capacity=128,
+        )
+        assert config.cores == 4
+        assert config.memory.page_policy == "closed"
+        assert config.memory.address_scheme == "interleaved"
+        assert config.memory.write_queue.capacity == 128
+
+
+class TestRunners:
+    def test_run_synthetic_end_to_end(self):
+        result = run_synthetic("sequential", cores=1, scale="ci")
+        assert result.dram_reads > 1000
+        result.bandwidth_stack().check_total(
+            result.spec.peak_bandwidth_gbps
+        )
+
+    def test_run_gap_end_to_end(self):
+        result, workload = run_gap("cc", cores=2, scale="ci")
+        assert workload.result is not None
+        assert result.dram_reads > 100
+
+    def test_gap_shared_graph(self):
+        __, workload = run_gap("pr", cores=1, scale="ci")
+        result2, workload2 = run_gap(
+            "pr", cores=2, scale="ci", graph=workload.graph
+        )
+        assert workload2.graph is workload.graph
+
+
+class TestFigureResult:
+    def test_label_lookup(self):
+        figure = FigureResult("figX")
+        figure.bandwidth.append(Stack({"read": 1.0}, "GB/s", "a 1c"))
+        assert figure.bandwidth_by_label("a 1c")["read"] == 1.0
+        with pytest.raises(KeyError):
+            figure.bandwidth_by_label("missing")

@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.sweep import SweepPoint, grid, run_sweep
+
+TINY = ExperimentScale("tiny", synthetic_accesses=800)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = grid(
+            patterns=("sequential", "random"),
+            cores=(1, 2),
+            page_policies=("open", "closed"),
+        )
+        assert len(points) == 8
+
+    def test_point_labels_unique(self):
+        points = grid(patterns=("sequential", "random"), cores=(1, 2))
+        labels = {point.label for point in points}
+        assert len(labels) == len(points)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        points = grid(
+            patterns=("sequential", "random"),
+            page_policies=("open", "closed"),
+        )
+        return run_sweep(points, scale=TINY)
+
+    def test_all_points_ran(self, sweep):
+        assert len(sweep) == 4
+
+    def test_metrics_plausible(self, sweep):
+        for record in sweep.records:
+            assert 0 < record.achieved_gbps < 19.2
+            assert record.avg_latency_ns > 40
+            assert 0 <= record.page_hit_rate <= 1
+
+    def test_best_selection(self, sweep):
+        best = sweep.best_bandwidth()
+        assert best.achieved_gbps == max(
+            r.achieved_gbps for r in sweep.records
+        )
+
+    def test_filter(self, sweep):
+        sequential = sweep.filter(pattern="sequential")
+        assert len(sequential) == 2
+        assert all(
+            r.point.pattern == "sequential" for r in sequential.records
+        )
+
+    def test_reproduces_fig4_direction(self, sweep):
+        # The sweep should recover Fig. 4's headline: sequential prefers
+        # open, random prefers closed.
+        seq = sweep.filter(pattern="sequential")
+        ran = sweep.filter(pattern="random")
+        seq_open = seq.filter(page_policy="open").records[0]
+        seq_closed = seq.filter(page_policy="closed").records[0]
+        ran_open = ran.filter(page_policy="open").records[0]
+        ran_closed = ran.filter(page_policy="closed").records[0]
+        assert seq_open.achieved_gbps > seq_closed.achieved_gbps
+        assert ran_closed.achieved_gbps > ran_open.achieved_gbps
+
+    def test_csv_export(self, sweep):
+        import csv
+        import io
+
+        rows = list(csv.reader(io.StringIO(sweep.to_csv())))
+        assert rows[0][0] == "pattern"
+        assert len(rows) == 5
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(
+            [SweepPoint()], scale=TINY, progress=lambda r: seen.append(r)
+        )
+        assert len(seen) == 1

@@ -1,0 +1,95 @@
+"""Unit tests for Stack and StackSeries."""
+
+import pytest
+
+from repro.errors import AccountingError
+from repro.stacks.components import Stack, StackSeries, ordered_stack
+
+
+def make(read=4.0, idle=2.0, unit="GB/s", label="x"):
+    return Stack({"read": read, "idle": idle}, unit=unit, label=label)
+
+
+class TestStack:
+    def test_total(self):
+        assert make().total == 6.0
+
+    def test_getitem_missing_is_zero(self):
+        assert make()["banana"] == 0.0
+
+    def test_fraction(self):
+        assert make().fraction("read") == pytest.approx(4 / 6)
+
+    def test_fraction_of_empty_stack(self):
+        assert Stack({}).fraction("read") == 0.0
+
+    def test_scaled(self):
+        doubled = make().scaled(2.0)
+        assert doubled["read"] == 8.0
+        assert doubled.unit == "GB/s"
+
+    def test_add(self):
+        total = make() + make(read=1.0, idle=0.0)
+        assert total["read"] == 5.0
+        assert total["idle"] == 2.0
+
+    def test_add_mismatched_units_raises(self):
+        with pytest.raises(AccountingError):
+            make(unit="GB/s") + make(unit="ns")
+
+    def test_add_preserves_unknown_components(self):
+        a = Stack({"read": 1.0}, unit="u")
+        b = Stack({"write": 2.0}, unit="u")
+        combined = a + b
+        assert combined["write"] == 2.0
+
+    def test_check_total_passes(self):
+        make().check_total(6.0)
+
+    def test_check_total_fails(self):
+        with pytest.raises(AccountingError):
+            make().check_total(7.0)
+
+    def test_subset(self):
+        sub = make().subset(["read", "missing"])
+        assert sub.components == {"read": 4.0, "missing": 0.0}
+
+    def test_mean(self):
+        mean = Stack.mean([make(read=2.0), make(read=4.0)])
+        assert mean["read"] == 3.0
+
+    def test_mean_of_nothing_raises(self):
+        with pytest.raises(AccountingError):
+            Stack.mean([])
+
+    def test_as_rows_preserves_order(self):
+        stack = ordered_stack({"b": 1.0, "a": 2.0}, ("a", "b"), "u", "")
+        assert stack.as_rows() == [("a", 2.0), ("b", 1.0)]
+
+    def test_iteration(self):
+        assert dict(make()) == {"read": 4.0, "idle": 2.0}
+
+
+class TestStackSeries:
+    def make_series(self):
+        stacks = [make(read=float(i)) for i in range(4)]
+        return StackSeries(stacks, bin_cycles=1000, cycle_ns=0.8333)
+
+    def test_len_and_indexing(self):
+        series = self.make_series()
+        assert len(series) == 4
+        assert series[2]["read"] == 2.0
+
+    def test_times_ms(self):
+        series = self.make_series()
+        times = series.times_ms()
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(1000 * 0.8333 / 1e6)
+
+    def test_aggregate_is_mean(self):
+        series = self.make_series()
+        assert series.aggregate()["read"] == pytest.approx(1.5)
+
+    def test_component_series(self):
+        series = self.make_series()
+        assert series.component_series("read") == [0.0, 1.0, 2.0, 3.0]

@@ -1,0 +1,85 @@
+"""Tests for CPI-style cycle stacks."""
+
+import pytest
+
+from repro.errors import AccountingError
+from repro.stacks.cycle import CYCLE_COMPONENTS, CycleStackBuilder
+
+
+def builder(bin_cycles=1000):
+    return CycleStackBuilder(bin_cycles=bin_cycles, cycle_ns=1 / 3.2)
+
+
+class TestAdd:
+    def test_simple_accumulation(self):
+        b = builder()
+        b.add("base", 0, 100)
+        b.add("dram_latency", 100, 50)
+        assert b.total_cycles() == 150
+
+    def test_split_across_bins(self):
+        b = builder(bin_cycles=100)
+        b.add("base", 50, 100)  # spans bins 0 and 1
+        series = b.series()
+        assert len(series) == 2
+        assert series[0]["base"] == 1.0
+        assert series[1]["base"] == 1.0
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(AccountingError):
+            builder().add("nonsense", 0, 10)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(AccountingError):
+            builder().add("base", 0, -5)
+
+    def test_fractional_cycles(self):
+        b = builder()
+        b.add("dram_latency", 0, 0.25)
+        b.add("dram_queue", 0.25, 0.75)
+        assert b.total_cycles() == pytest.approx(1.0)
+
+
+class TestStack:
+    def test_fractions_sum_to_one(self):
+        b = builder()
+        b.add("base", 0, 60)
+        b.add("dram_latency", 60, 30)
+        b.add("idle", 90, 10)
+        stack = b.stack()
+        assert stack.total == pytest.approx(1.0)
+        assert stack["base"] == pytest.approx(0.6)
+
+    def test_empty_builder_gives_zero_stack(self):
+        assert builder().stack().total == 0.0
+
+    def test_order(self):
+        b = builder()
+        b.add("base", 0, 1)
+        assert tuple(b.stack().components) == CYCLE_COMPONENTS
+
+
+class TestMerge:
+    def test_merge_weighs_by_cycles(self):
+        a = builder()
+        a.add("base", 0, 100)
+        b = builder()
+        b.add("idle", 0, 300)
+        merged = CycleStackBuilder.merge([a, b])
+        assert merged["base"] == pytest.approx(0.25)
+        assert merged["idle"] == pytest.approx(0.75)
+
+    def test_merge_nothing_raises(self):
+        with pytest.raises(AccountingError):
+            CycleStackBuilder.merge([])
+
+    def test_merge_series_aligns_bins(self):
+        a = builder(bin_cycles=100)
+        a.add("base", 0, 100)
+        a.add("base", 100, 100)
+        b = builder(bin_cycles=100)
+        b.add("idle", 0, 100)
+        series = CycleStackBuilder.merge_series([a, b])
+        assert len(series) == 2
+        assert series[0]["base"] == pytest.approx(0.5)
+        assert series[1]["base"] == pytest.approx(1.0)

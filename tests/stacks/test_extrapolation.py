@@ -1,0 +1,145 @@
+"""Tests for bandwidth extrapolation (paper Sec. VIII-B)."""
+
+import pytest
+
+from repro.errors import AccountingError
+from repro.stacks.bandwidth import BANDWIDTH_COMPONENTS
+from repro.stacks.components import StackSeries, ordered_stack
+from repro.stacks.extrapolation import (
+    achieved_bandwidth,
+    extrapolate_naive,
+    extrapolate_series,
+    extrapolate_stack_based,
+)
+
+PEAK = 19.2
+
+
+def bw_stack(read=2.0, write=0.0, precharge=0.0, activate=0.0,
+             refresh=1.0, constraints=0.0):
+    used = read + write + precharge + activate + refresh + constraints
+    return ordered_stack(
+        {
+            "read": read, "write": write, "precharge": precharge,
+            "activate": activate, "refresh": refresh,
+            "constraints": constraints, "bank_idle": 0.0,
+            "idle": PEAK - used,
+        },
+        BANDWIDTH_COMPONENTS, unit="GB/s", label="1c",
+    )
+
+
+class TestNaive:
+    def test_linear_when_unconstrained(self):
+        assert extrapolate_naive(bw_stack(read=2.0), 4) == pytest.approx(8.0)
+
+    def test_saturates_at_peak_minus_refresh(self):
+        prediction = extrapolate_naive(bw_stack(read=4.0, refresh=1.0), 8)
+        assert prediction == pytest.approx(PEAK - 1.0)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(AccountingError):
+            extrapolate_naive(bw_stack(), 0)
+
+
+class TestStackBased:
+    def test_linear_when_room(self):
+        predicted, stack = extrapolate_stack_based(bw_stack(read=1.0), 4)
+        assert predicted == pytest.approx(4.0)
+        assert stack.total == pytest.approx(PEAK)
+
+    def test_overheads_scale_too(self):
+        # 2 GB/s read + 2 GB/s pre/act overhead at 1 core: at 8 cores the
+        # overhead eats into the achievable read bandwidth.
+        stack = bw_stack(read=2.0, precharge=1.0, activate=1.0, refresh=1.0)
+        predicted, extr = extrapolate_stack_based(stack, 8)
+        naive = extrapolate_naive(stack, 8)
+        assert predicted < naive
+        # Scaled: read 16, pre 8, act 8, refresh 1 -> 33 > 19.2, shrink
+        # factor (19.2-1)/32; read = 16 * 18.2/32.
+        assert predicted == pytest.approx(16 * (PEAK - 1.0) / 32)
+
+    def test_refresh_not_scaled(self):
+        stack = bw_stack(read=0.5, refresh=1.0)
+        __, extr = extrapolate_stack_based(stack, 4)
+        assert extr["refresh"] == pytest.approx(1.0)
+
+    def test_extrapolated_stack_sums_to_peak(self):
+        stack = bw_stack(read=3.0, precharge=2.0, constraints=1.0)
+        __, extr = extrapolate_stack_based(stack, 8)
+        extr.check_total(PEAK)
+
+    def test_achieved_bandwidth_reads_plus_writes(self):
+        assert achieved_bandwidth(bw_stack(read=2.0, write=1.0)) == 3.0
+
+    def test_idle_absorbs_slack(self):
+        __, extr = extrapolate_stack_based(bw_stack(read=1.0), 2)
+        assert extr["idle"] == pytest.approx(PEAK - 2.0 - 1.0)
+
+
+class TestSeries:
+    def make_series(self):
+        stacks = [bw_stack(read=1.0), bw_stack(read=4.0, precharge=2.0)]
+        return StackSeries(stacks, bin_cycles=1000, cycle_ns=0.833)
+
+    def test_per_sample_aggregation(self):
+        series = self.make_series()
+        stack_pred = extrapolate_series(series, 8, method="stack")
+        naive_pred = extrapolate_series(series, 8, method="naive")
+        # Sample 1 is unconstrained (8.0); sample 2 saturates.
+        assert stack_pred < naive_pred
+
+    def test_unknown_method(self):
+        with pytest.raises(AccountingError):
+            extrapolate_series(self.make_series(), 8, method="magic")
+
+    def test_empty_series(self):
+        empty = StackSeries([], 1000, 0.833)
+        with pytest.raises(AccountingError):
+            extrapolate_series(empty, 8)
+
+    def test_stack_more_conservative_than_naive(self):
+        # The stack-based prediction never exceeds the naive one.
+        for read in (0.5, 2.0, 4.0):
+            for over in (0.0, 1.0, 3.0):
+                stack = bw_stack(read=read, precharge=over)
+                s, __ = extrapolate_stack_based(stack, 8)
+                n = extrapolate_naive(stack, 8)
+                assert s <= n + 1e-9
+
+
+class TestProperties:
+    """Hypothesis: invariants over arbitrary bandwidth stacks."""
+
+    from hypothesis import given, strategies as st
+
+    stacks = st.builds(
+        bw_stack,
+        read=st.floats(0.0, 6.0),
+        write=st.floats(0.0, 3.0),
+        precharge=st.floats(0.0, 3.0),
+        activate=st.floats(0.0, 3.0),
+        refresh=st.floats(0.0, 1.5),
+        constraints=st.floats(0.0, 2.0),
+    )
+    factors = st.floats(min_value=1.0, max_value=16.0)
+
+    @given(stacks, factors)
+    def test_stack_never_more_optimistic_than_naive(self, stack, factor):
+        predicted, __ = extrapolate_stack_based(stack, factor)
+        assert predicted <= extrapolate_naive(stack, factor) + 1e-9
+
+    @given(stacks, factors)
+    def test_extrapolated_stack_is_exact(self, stack, factor):
+        __, extr = extrapolate_stack_based(stack, factor)
+        extr.check_total(stack.total, tolerance=1e-9)
+
+    @given(stacks, factors)
+    def test_prediction_at_most_peak(self, stack, factor):
+        predicted, __ = extrapolate_stack_based(stack, factor)
+        assert predicted <= stack.total + 1e-9
+
+    @given(stacks)
+    def test_factor_one_is_identity_on_achieved(self, stack):
+        predicted, __ = extrapolate_stack_based(stack, 1.0)
+        assert predicted == pytest.approx(achieved_bandwidth(stack))

@@ -1,0 +1,85 @@
+"""Unit and property tests for the interval utilities."""
+
+from hypothesis import given, strategies as st
+
+from repro.stacks import intervals as iv
+
+
+def canonical(points: list[int]) -> list[tuple[int, int]]:
+    """Build a sorted disjoint interval list from breakpoints."""
+    points = sorted(set(points))
+    return [
+        (a, b) for a, b, keep in zip(points, points[1:], _alternate())
+        if keep
+    ]
+
+
+def _alternate():
+    flag = True
+    while True:
+        yield flag
+        flag = not flag
+
+
+def cover_set(intervals: list[tuple[int, int]]) -> set[int]:
+    return {t for s, e in intervals for t in range(s, e)}
+
+
+interval_lists = st.lists(
+    st.integers(min_value=0, max_value=80), min_size=0, max_size=10
+).map(canonical)
+
+
+class TestBasics:
+    def test_total_length(self):
+        assert iv.total_length([(0, 5), (10, 12)]) == 7
+
+    def test_clip_inside(self):
+        assert iv.clip([(0, 10)], 3, 7) == [(3, 7)]
+
+    def test_clip_straddling(self):
+        assert iv.clip([(0, 5), (8, 12)], 4, 9) == [(4, 5), (8, 9)]
+
+    def test_clip_disjoint(self):
+        assert iv.clip([(0, 5)], 6, 9) == []
+
+    def test_clip_empty_range(self):
+        assert iv.clip([(0, 5)], 3, 3) == []
+
+    def test_intersect(self):
+        assert iv.intersect([(0, 10)], [(5, 15)]) == [(5, 10)]
+
+    def test_subtract_hole(self):
+        assert iv.subtract([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+
+    def test_subtract_all(self):
+        assert iv.subtract([(2, 6)], [(0, 10)]) == []
+
+    def test_union_merges_adjacent(self):
+        assert iv.union([(0, 5)], [(5, 8)]) == [(0, 8)]
+
+
+class TestProperties:
+    @given(interval_lists, interval_lists)
+    def test_intersect_matches_sets(self, a, b):
+        assert cover_set(iv.intersect(a, b)) == cover_set(a) & cover_set(b)
+
+    @given(interval_lists, interval_lists)
+    def test_subtract_matches_sets(self, a, b):
+        assert cover_set(iv.subtract(a, b)) == cover_set(a) - cover_set(b)
+
+    @given(interval_lists, interval_lists)
+    def test_union_matches_sets(self, a, b):
+        assert cover_set(iv.union(a, b)) == cover_set(a) | cover_set(b)
+
+    @given(interval_lists, st.integers(0, 80), st.integers(0, 80))
+    def test_clip_matches_sets(self, a, lo, hi):
+        expected = cover_set(a) & set(range(lo, hi))
+        assert cover_set(iv.clip(a, lo, hi)) == expected
+
+    @given(interval_lists, interval_lists)
+    def test_partition_is_exact(self, a, b):
+        # subtract + intersect partition a.
+        inside = iv.total_length(iv.intersect(a, b))
+        outside = iv.total_length(iv.subtract(a, b))
+        assert inside + outside == iv.total_length(a)

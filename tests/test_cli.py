@@ -1,0 +1,86 @@
+"""Tests for the dram-stacks CLI."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.dram import ControllerConfig, MemoryController, Request, RequestType
+from repro.trace.io import write_trace_path
+from repro.trace.offline import capture_trace
+
+
+class TestSpecs:
+    def test_lists_builtin_specs(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "DDR4-2400" in out
+        assert "19.2 GB/s" in out
+
+
+class TestAnalyze:
+    def test_synthetic_report(self, capsys):
+        assert main(["analyze", "random", "--cores", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bandwidth stack" in out
+        assert "Findings" in out
+
+    def test_gap_kernel(self, capsys):
+        assert main(["analyze", "cc", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gap:cc" in out
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "bananas"])
+
+    def test_scheme_flag(self, capsys):
+        assert main([
+            "analyze", "sequential", "--scheme", "interleaved",
+            "--stores", "0.2",
+        ]) == 0
+
+
+class TestTrace:
+    def test_offline_trace_stack(self, tmp_path, capsys):
+        mc = MemoryController(ControllerConfig(keep_command_trace=True))
+        for i in range(200):
+            mc.enqueue(Request(RequestType.READ, i * 64, arrival=i * 8))
+        mc.drain()
+        mc.finalize()
+        path = tmp_path / "example.trace"
+        write_trace_path(capture_trace(mc), str(path))
+
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth stack" in out
+        assert "legend" in out
+
+
+class TestFigure:
+    def test_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig999"])
+
+
+class TestFormats:
+    def test_csv_output(self, capsys):
+        assert main(["analyze", "random", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("component,")
+        assert "read," in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["analyze", "random", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+        assert payload[0]["unit"] == "GB/s"
+
+
+class TestPhases:
+    def test_phased_workload_analysis(self, capsys):
+        assert main(["phases", "phased", "--threshold", "0.35"]) == 0
+        out = capsys.readouterr().out
+        assert "phase(s):" in out

@@ -1,0 +1,42 @@
+"""Public API stability checks."""
+
+import repro
+
+
+class TestRootExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestCoreAlias:
+    def test_core_mirrors_stacks(self):
+        import repro.core
+        import repro.stacks
+
+        for name in repro.stacks.__all__:
+            assert getattr(repro.core, name) is getattr(repro.stacks, name)
+
+    def test_paper_contribution_reachable_both_ways(self):
+        from repro.core import BandwidthStackAccountant as from_core
+        from repro.stacks import BandwidthStackAccountant as from_stacks
+
+        assert from_core is from_stacks
+
+
+class TestEntryPoints:
+    def test_cli_main_importable(self):
+        from repro.cli import main
+
+        assert callable(main)
+
+    def test_experiment_modules_have_run_and_main(self):
+        import importlib
+
+        for name in ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9"):
+            module = importlib.import_module(f"repro.experiments.{name}")
+            assert callable(module.run)
+            assert callable(module.main)

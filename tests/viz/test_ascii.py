@@ -1,0 +1,66 @@
+"""Tests for terminal stack rendering."""
+
+from repro.stacks.components import Stack
+from repro.viz.ascii_art import render_stack_table, render_stacks
+from repro.viz.palette import color_for, terminal_color_for
+
+
+def stacks():
+    return [
+        Stack({"read": 10.0, "idle": 9.2}, unit="GB/s", label="one"),
+        Stack({"read": 5.0, "idle": 14.2}, unit="GB/s", label="two"),
+    ]
+
+
+class TestRenderStacks:
+    def test_contains_labels_and_totals(self):
+        text = render_stacks(stacks())
+        assert "one" in text and "two" in text
+        assert "19.20" in text
+
+    def test_legend_lists_components(self):
+        text = render_stacks(stacks())
+        assert "legend:" in text
+        assert "read" in text and "idle" in text
+
+    def test_bars_scale_with_values(self):
+        text = render_stacks(stacks(), width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        # Both bars are full width (same total).
+        assert len(lines[0]) == len(lines[1])
+
+    def test_color_mode_emits_ansi(self):
+        text = render_stacks(stacks(), color=True)
+        assert "\x1b[38;5;" in text
+
+    def test_empty(self):
+        assert "no stacks" in render_stacks([])
+
+    def test_title(self):
+        assert render_stacks(stacks(), title="Hello").startswith("Hello")
+
+
+class TestRenderTable:
+    def test_rows_and_totals(self):
+        text = render_stack_table(stacks())
+        assert "read" in text
+        assert "total" in text
+        assert "10.00" in text
+        assert "(unit: GB/s)" in text
+
+    def test_missing_components_are_zero(self):
+        mixed = [
+            Stack({"read": 1.0}, unit="u", label="a"),
+            Stack({"write": 2.0}, unit="u", label="b"),
+        ]
+        text = render_stack_table(mixed)
+        assert "0.00" in text
+
+
+class TestPalette:
+    def test_known_component_color(self):
+        assert color_for("read").startswith("#")
+        assert isinstance(terminal_color_for("read"), int)
+
+    def test_unknown_component_fallback(self):
+        assert color_for("nonsense").startswith("#")

@@ -1,0 +1,72 @@
+"""Tests for CSV/JSON stack export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.stacks.components import Stack, StackSeries
+from repro.viz.export import (
+    series_to_csv,
+    series_to_dict,
+    stack_from_dict,
+    stack_to_dict,
+    stacks_to_csv,
+    stacks_to_json,
+)
+
+
+def stack(read=5.0, label="a"):
+    return Stack({"read": read, "idle": 19.2 - read}, "GB/s", label)
+
+
+class TestCsv:
+    def test_table_shape(self):
+        text = stacks_to_csv([stack(label="one"), stack(8.0, label="two")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["component", "one", "two"]
+        assert rows[1][0] == "read"
+        assert rows[-1][0] == "total"
+        assert float(rows[-1][1]) == pytest.approx(19.2)
+
+    def test_labels_with_commas_quoted(self):
+        text = stacks_to_csv([stack(label="seq, 1c")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][1] == "seq, 1c"
+
+    def test_empty(self):
+        assert stacks_to_csv([]) == ""
+
+    def test_series_csv(self):
+        series = StackSeries(
+            [stack(float(i), f"[{i}]") for i in range(3)],
+            bin_cycles=1200, cycle_ns=0.8333,
+        )
+        rows = list(csv.reader(io.StringIO(series_to_csv(series))))
+        assert rows[0] == ["time_ms", "read", "idle"]
+        assert len(rows) == 4
+        assert float(rows[1][1]) == 0.0
+        assert float(rows[3][1]) == 2.0
+
+
+class TestJson:
+    def test_round_trip(self):
+        original = stack(7.0, "x")
+        payload = json.loads(stacks_to_json([original]))[0]
+        restored = stack_from_dict(payload)
+        assert restored.components == original.components
+        assert restored.unit == original.unit
+        assert restored.label == original.label
+
+    def test_dict_fields(self):
+        payload = stack_to_dict(stack())
+        assert payload["total"] == pytest.approx(19.2)
+        assert payload["unit"] == "GB/s"
+
+    def test_series_dict(self):
+        series = StackSeries([stack()], 1000, 0.8, label="s")
+        payload = series_to_dict(series)
+        assert payload["label"] == "s"
+        assert len(payload["stacks"]) == 1
+        assert payload["times_ms"] == [0.0]

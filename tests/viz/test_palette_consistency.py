@@ -1,0 +1,38 @@
+"""Every canonical stack component must have a palette entry."""
+
+from repro.stacks.bandwidth import BANDWIDTH_COMPONENTS
+from repro.stacks.cycle import CYCLE_COMPONENTS
+from repro.stacks.energy import ENERGY_COMPONENTS
+from repro.stacks.latency import LATENCY_COMPONENTS, LATENCY_COMPONENTS_SPLIT
+from repro.viz.palette import _PALETTE, color_for
+
+
+ALL_CANONICAL = set(
+    BANDWIDTH_COMPONENTS
+    + LATENCY_COMPONENTS
+    + LATENCY_COMPONENTS_SPLIT
+    + CYCLE_COMPONENTS
+)
+
+
+class TestPaletteCoverage:
+    def test_every_component_has_explicit_color(self):
+        missing = [
+            name for name in sorted(ALL_CANONICAL) if name not in _PALETTE
+        ]
+        assert missing == [], f"palette misses: {missing}"
+
+    def test_colors_are_valid_hex(self):
+        for name in ALL_CANONICAL | set(ENERGY_COMPONENTS):
+            color = color_for(name)
+            assert color.startswith("#") and len(color) == 7
+            int(color[1:], 16)
+
+    def test_achieved_vs_lost_use_distinct_colors(self):
+        achieved = {color_for("read"), color_for("write")}
+        lost = {
+            color_for(name)
+            for name in ("precharge", "activate", "refresh",
+                         "constraints", "bank_idle", "idle")
+        }
+        assert achieved.isdisjoint(lost)

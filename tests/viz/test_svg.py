@@ -1,0 +1,95 @@
+"""Tests for the SVG chart generation."""
+
+import pytest
+
+from repro.stacks.components import Stack, StackSeries
+from repro.viz.svg import stacked_area_svg, stacked_bars_svg
+
+
+def bw_stack(read, label):
+    return Stack(
+        {"read": read, "idle": 19.2 - read}, unit="GB/s", label=label
+    )
+
+
+class TestStackedBars:
+    def test_valid_svg_document(self):
+        svg = stacked_bars_svg([bw_stack(5.0, "a"), bw_stack(10.0, "b")])
+        assert svg.startswith("<?xml")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") >= 4  # background + bars
+
+    def test_labels_present(self):
+        svg = stacked_bars_svg([bw_stack(5.0, "seq 4c")])
+        assert "seq 4c" in svg
+
+    def test_legend_components(self):
+        svg = stacked_bars_svg([bw_stack(5.0, "a")])
+        assert ">read</text>" in svg
+        assert ">idle</text>" in svg
+
+    def test_group_labels(self):
+        svg = stacked_bars_svg(
+            [bw_stack(5.0, "1c"), bw_stack(6.0, "2c")],
+            groups=[("sequential", 2)],
+        )
+        assert "sequential" in svg
+
+    def test_zero_components_skipped(self):
+        svg = stacked_bars_svg([Stack({"read": 1.0, "idle": 0.0},
+                                      unit="GB/s", label="x")])
+        # only one bar rect beyond background/legend swatches
+        assert svg.count("stroke='white'") == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stacked_bars_svg([])
+
+    def test_well_formed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        svg = stacked_bars_svg([bw_stack(5.0, "a")], title="t")
+        ET.fromstring(svg)
+
+
+class TestStackedArea:
+    def make_series(self):
+        return StackSeries(
+            [bw_stack(float(i + 1), f"[{i}]") for i in range(6)],
+            bin_cycles=1000,
+            cycle_ns=0.8333,
+        )
+
+    def test_valid_document(self):
+        svg = stacked_area_svg(self.make_series())
+        assert "<polygon" in svg
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_time_axis_labels(self):
+        svg = stacked_area_svg(self.make_series())
+        assert "ms</text>" in svg
+
+    def test_empty_raises(self):
+        empty = StackSeries([], 1000, 0.8)
+        with pytest.raises(ValueError):
+            stacked_area_svg(empty)
+
+    def test_well_formed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(stacked_area_svg(self.make_series(), title="t"))
+
+
+class TestEscaping:
+    def test_special_characters_escaped(self):
+        import xml.etree.ElementTree as ET
+
+        stack = Stack(
+            {"read": 1.0, "idle": 18.2}, unit="GB/s",
+            label="a<b & 'c'",
+        )
+        svg = stacked_bars_svg(
+            [stack], title="x & y <z>", groups=[("g & h", 1)]
+        )
+        ET.fromstring(svg)  # must parse despite &, <, >
+        assert "&amp;" in svg

@@ -1,0 +1,54 @@
+"""Tests for workload base helpers."""
+
+import pytest
+
+from repro.cpu.core import TraceItem
+from repro.errors import WorkloadError
+from repro.workloads.base import chain, split_range, stagger_base
+
+
+class TestSplitRange:
+    def test_even_split(self):
+        assert split_range(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_distributed(self):
+        ranges = split_range(10, 3)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sizes == [4, 3, 3]
+
+    def test_more_parts_than_items(self):
+        ranges = split_range(2, 4)
+        assert ranges[0] == (0, 1)
+        assert ranges[-1] == (2, 2)  # empty tail ranges allowed
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(WorkloadError):
+            split_range(10, 0)
+
+
+class TestStaggerBase:
+    def test_disjoint_regions(self):
+        region = 1 << 20
+        starts = [stagger_base(0, core, region) for core in range(4)]
+        for a, b in zip(starts, starts[1:]):
+            assert b - a >= region - 4 * 8192
+
+    def test_page_stagger_cycles_mod_four(self):
+        region = 1 << 20
+        offsets = [
+            stagger_base(0, core, region) - core * region
+            for core in range(8)
+        ]
+        assert offsets[:4] == offsets[4:]
+        assert len(set(offsets[:4])) == 4
+
+
+class TestChain:
+    def test_concatenates(self):
+        a = [TraceItem(instructions=1)]
+        b = [TraceItem(instructions=2), TraceItem(instructions=3)]
+        combined = list(chain(a, b))
+        assert [item.instructions for item in combined] == [1, 2, 3]
+
+    def test_empty(self):
+        assert list(chain()) == []

@@ -1,0 +1,201 @@
+"""GAP kernels: algorithmic correctness against reference implementations
+(networkx / scipy / pure numpy) and trace sanity."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.workloads.gap.bc import BcKernel, bc_reference
+from repro.workloads.gap.bfs import BfsKernel, bfs_reference
+from repro.workloads.gap.cc import CcKernel, cc_reference
+from repro.workloads.gap.graph import kronecker_graph, uniform_graph
+from repro.workloads.gap.pr import PageRankKernel, pagerank_reference
+from repro.workloads.gap.sssp import INFINITY, SsspKernel, sssp_reference
+from repro.workloads.gap.suite import GAP_KERNELS, GapWorkload, make_kernel
+from repro.workloads.gap.tc import TcKernel, tc_reference
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker_graph(scale=8, degree=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return kronecker_graph(scale=8, degree=8, weighted=True, seed=3)
+
+
+def to_networkx(graph, weighted=False):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    if weighted:
+        for s, d, w in zip(src, graph.neighbors, graph.weights):
+            g.add_edge(int(s), int(d), weight=int(w))
+    else:
+        g.add_edges_from(zip(src.tolist(), graph.neighbors.tolist()))
+    return g
+
+
+def pick_source(graph):
+    """A vertex with nonzero degree."""
+    return int(np.argmax(graph.degrees()))
+
+
+class TestBfs:
+    def test_matches_reference(self, graph):
+        source = pick_source(graph)
+        kernel = BfsKernel(graph, source=source)
+        kernel.generate(4)
+        assert np.array_equal(kernel.result, bfs_reference(graph, source))
+
+    def test_matches_networkx(self, graph):
+        source = pick_source(graph)
+        kernel = BfsKernel(graph, source=source)
+        kernel.generate(2)
+        lengths = nx.single_source_shortest_path_length(
+            to_networkx(graph), source
+        )
+        for v in range(graph.num_vertices):
+            expected = lengths.get(v, -1)
+            assert kernel.result[v] == expected
+
+    def test_direction_switching_happens(self, graph):
+        kernel = BfsKernel(graph, source=pick_source(graph))
+        kernel.generate(2)
+        directions = {direction for __, direction, __ in kernel.steps}
+        assert directions == {"top-down", "bottom-up"}
+
+    def test_core_count_does_not_change_result(self, graph):
+        source = pick_source(graph)
+        results = []
+        for cores in (1, 8):
+            kernel = BfsKernel(graph, source=source)
+            kernel.generate(cores)
+            results.append(kernel.result)
+        assert np.array_equal(results[0], results[1])
+
+
+class TestPageRank:
+    def test_matches_reference(self, graph):
+        kernel = PageRankKernel(graph, iterations=3)
+        kernel.generate(4)
+        expected = pagerank_reference(graph, 3)
+        assert np.allclose(kernel.result, expected)
+
+    def test_close_to_networkx(self, graph):
+        iterations = 40
+        kernel = PageRankKernel(graph, iterations=iterations)
+        kernel.generate(2)
+        nx_scores = nx.pagerank(
+            to_networkx(graph), alpha=0.85, max_iter=200, tol=1e-12
+        )
+        ours = kernel.result / kernel.result.sum()
+        theirs = np.array(
+            [nx_scores[v] for v in range(graph.num_vertices)]
+        )
+        assert np.allclose(ours, theirs, atol=1e-6)
+
+
+class TestCc:
+    def test_matches_reference(self, graph):
+        kernel = CcKernel(graph, max_iterations=50)
+        kernel.generate(4)
+        assert np.array_equal(kernel.result, cc_reference(graph))
+
+    def test_matches_networkx_partition(self, graph):
+        kernel = CcKernel(graph, max_iterations=50)
+        kernel.generate(2)
+        components = list(nx.connected_components(to_networkx(graph)))
+        for component in components:
+            labels = {kernel.result[v] for v in component}
+            assert len(labels) == 1
+
+
+class TestSssp:
+    def test_matches_reference(self, weighted_graph):
+        source = pick_source(weighted_graph)
+        kernel = SsspKernel(weighted_graph, source=source)
+        kernel.generate(4)
+        assert np.array_equal(
+            kernel.result, sssp_reference(weighted_graph, source)
+        )
+
+    def test_matches_networkx_dijkstra(self, weighted_graph):
+        source = pick_source(weighted_graph)
+        kernel = SsspKernel(weighted_graph, source=source)
+        kernel.generate(2)
+        lengths = nx.single_source_dijkstra_path_length(
+            to_networkx(weighted_graph, weighted=True), source
+        )
+        for v in range(weighted_graph.num_vertices):
+            expected = lengths.get(v, INFINITY)
+            assert kernel.result[v] == expected
+
+
+class TestBc:
+    def test_matches_reference(self, graph):
+        source = pick_source(graph)
+        kernel = BcKernel(graph, source=source)
+        kernel.generate(4)
+        assert np.allclose(kernel.result, bc_reference(graph, source))
+
+    def test_source_dependency_zero_for_unreachable(self, graph):
+        source = pick_source(graph)
+        kernel = BcKernel(graph, source=source)
+        kernel.generate(2)
+        depths = bfs_reference(graph, source)
+        unreachable = np.where(depths < 0)[0]
+        assert np.all(kernel.result[unreachable] == 0)
+
+
+class TestTc:
+    def test_matches_networkx(self):
+        graph = uniform_graph(scale=7, degree=6, seed=17)
+        kernel = TcKernel(graph)
+        kernel.generate(2)
+        nx_triangles = sum(nx.triangles(to_networkx(graph)).values()) // 3
+        assert kernel.result == nx_triangles
+        assert tc_reference(graph) == nx_triangles
+
+    def test_vertex_budget_truncates(self):
+        graph = uniform_graph(scale=7, degree=6, seed=17)
+        full = TcKernel(graph)
+        full.generate(1)
+        partial = TcKernel(graph, max_vertices=10)
+        partial.generate(1)
+        assert partial.result <= full.result
+
+
+class TestTraces:
+    def test_all_kernels_produce_nonempty_traces(self, weighted_graph):
+        for name in GAP_KERNELS:
+            wl = GapWorkload(name, graph=weighted_graph)
+            traces = wl.traces(2)
+            assert len(traces) == 2
+            assert sum(len(t) for t in traces) > 100, name
+
+    def test_traces_contain_barriers(self, graph):
+        wl = GapWorkload("pr", graph=graph, iterations=1)
+        traces = wl.traces(4)
+        for trace in traces:
+            assert any(item.barrier for item in trace)
+
+    def test_equal_barrier_counts_across_cores(self, graph):
+        wl = GapWorkload("bfs", graph=graph)
+        traces = wl.traces(4)
+        counts = {
+            sum(1 for item in trace if item.barrier) for trace in traces
+        }
+        assert len(counts) == 1
+
+    def test_unknown_kernel_rejected(self, graph):
+        with pytest.raises(Exception):
+            make_kernel("floyd", graph)
+
+    def test_addresses_fall_in_layout(self, graph):
+        wl = GapWorkload("pr", graph=graph, iterations=1)
+        traces = wl.traces(1)
+        for item in traces[0]:
+            if item.has_memory_op:
+                assert item.address >= (1 << 29)

@@ -1,0 +1,88 @@
+"""Multicore behaviour of the GAP kernels: partitioning and barriers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import split_by_weight, split_range
+from repro.workloads.gap.graph import default_source, kronecker_graph
+from repro.workloads.gap.suite import GAP_KERNELS, GapWorkload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker_graph(scale=9, degree=8, seed=5)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return kronecker_graph(scale=9, degree=8, weighted=True, seed=5)
+
+
+class TestPartitioning:
+    def test_split_range_covers_everything(self):
+        ranges = split_range(10, 3)
+        assert ranges == [(0, 4), (4, 7), (7, 10)]
+
+    def test_split_by_weight_balances(self):
+        weights = [1] * 50 + [100] * 2  # two heavy items at the end
+        ranges = split_by_weight(weights, 2)
+        (lo1, hi1), (lo2, hi2) = ranges
+        w1 = sum(weights[lo1:hi1])
+        w2 = sum(weights[lo2:hi2])
+        # Far better balanced than a midpoint cut (25 vs 225).
+        assert max(w1, w2) < 0.8 * sum(weights)
+
+    def test_split_by_weight_covers_everything(self):
+        weights = list(range(1, 30))
+        ranges = split_by_weight(weights, 4)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == len(weights)
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_split_zero_weights_falls_back(self):
+        assert split_by_weight([0, 0, 0, 0], 2) == [(0, 2), (2, 4)]
+
+    def test_gap_core_work_is_balanced(self, graph):
+        """No core's trace should dwarf the others on a skewed graph."""
+        wl = GapWorkload("pr", graph=graph, iterations=1)
+        traces = wl.traces(8)
+        sizes = [len(t) for t in traces]
+        assert max(sizes) < 3 * (sum(sizes) / len(sizes))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kernel", GAP_KERNELS)
+    def test_results_independent_of_core_count(
+        self, kernel, graph, weighted_graph
+    ):
+        g = weighted_graph if kernel == "sssp" else graph
+        results = []
+        for cores in (1, 4):
+            wl = GapWorkload(kernel, graph=g)
+            wl.traces(cores)
+            results.append(wl.result)
+        if isinstance(results[0], np.ndarray):
+            assert np.allclose(results[0], results[1])
+        else:
+            assert results[0] == results[1]
+
+
+class TestDefaultSource:
+    def test_never_isolated(self, graph):
+        source = default_source(graph)
+        assert graph.degree(source) > 0
+
+    def test_not_the_hub(self, graph):
+        source = default_source(graph)
+        assert graph.degree(source) < graph.degrees().max()
+
+    def test_deterministic(self, graph):
+        assert default_source(graph) == default_source(graph)
+
+    def test_empty_graph_fallback(self):
+        from repro.workloads.gap.graph import from_edges
+
+        empty = from_edges(4, np.array([], dtype=int),
+                           np.array([], dtype=int))
+        assert default_source(empty) == 0

@@ -1,0 +1,102 @@
+"""Tests for the CSR graph and generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.gap.graph import (
+    Graph,
+    from_edges,
+    kronecker_graph,
+    path_graph,
+    uniform_graph,
+)
+
+
+class TestCsr:
+    def test_from_edges_basic(self):
+        graph = from_edges(3, np.array([0, 0, 1]), np.array([1, 2, 2]))
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert list(graph.neighbors_of(0)) == [1, 2]
+        assert graph.degree(2) == 0
+
+    def test_neighbors_sorted(self):
+        graph = from_edges(4, np.array([0, 0, 0]), np.array([3, 1, 2]))
+        assert list(graph.neighbors_of(0)) == [1, 2, 3]
+
+    def test_malformed_offsets_rejected(self):
+        with pytest.raises(WorkloadError):
+            Graph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_reverse(self):
+        graph = from_edges(3, np.array([0, 1]), np.array([1, 2]))
+        rev = graph.reverse()
+        assert list(rev.neighbors_of(1)) == [0]
+        assert list(rev.neighbors_of(2)) == [1]
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("generator", [kronecker_graph, uniform_graph])
+    def test_basic_properties(self, generator):
+        graph = generator(scale=8, degree=8, seed=1)
+        assert graph.num_vertices == 256
+        assert graph.num_edges > 256
+        # No self loops.
+        src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+        assert not np.any(src == graph.neighbors)
+
+    def test_undirected_symmetry(self):
+        graph = kronecker_graph(scale=7, degree=8, seed=3)
+        adjacency = set()
+        for v in range(graph.num_vertices):
+            for u in graph.neighbors_of(v):
+                adjacency.add((v, int(u)))
+        assert all((u, v) in adjacency for v, u in adjacency)
+
+    def test_no_duplicate_edges(self):
+        graph = uniform_graph(scale=7, degree=8, seed=5)
+        for v in range(graph.num_vertices):
+            neighbors = list(graph.neighbors_of(v))
+            assert len(neighbors) == len(set(neighbors))
+
+    def test_kronecker_skew_exceeds_uniform(self):
+        kron = kronecker_graph(scale=10, degree=8, seed=7)
+        unif = uniform_graph(scale=10, degree=8, seed=7)
+        assert kron.degrees().max() > 2 * unif.degrees().max()
+
+    def test_weighted_graphs_symmetric_weights(self):
+        graph = kronecker_graph(scale=7, degree=8, weighted=True, seed=11)
+        weight = {}
+        src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+        for s, d, w in zip(src, graph.neighbors, graph.weights):
+            weight[(int(s), int(d))] = int(w)
+        assert all(
+            weight[(d, s)] == w for (s, d), w in weight.items()
+        )
+        assert graph.weights.min() >= 1
+
+    def test_deterministic(self):
+        a = kronecker_graph(scale=8, degree=8, seed=9)
+        b = kronecker_graph(scale=8, degree=8, seed=9)
+        assert np.array_equal(a.neighbors, b.neighbors)
+
+    def test_scale_bounds(self):
+        with pytest.raises(WorkloadError):
+            kronecker_graph(scale=1)
+
+    def test_matches_networkx_connectivity(self):
+        graph = uniform_graph(scale=8, degree=6, seed=13)
+        g = nx.Graph()
+        g.add_nodes_from(range(graph.num_vertices))
+        src = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+        g.add_edges_from(zip(src.tolist(), graph.neighbors.tolist()))
+        assert g.number_of_nodes() == graph.num_vertices
+        # Each undirected edge appears in both directions in CSR.
+        assert g.number_of_edges() == graph.num_edges // 2

@@ -1,0 +1,106 @@
+"""Tests for the GAP memory layout and trace emission."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.gap.tracer import (
+    ArrayRef,
+    CoreTracer,
+    MemoryLayout,
+    barrier_all,
+    make_tracers,
+)
+
+
+class TestMemoryLayout:
+    def test_arrays_are_disjoint_and_page_aligned(self):
+        layout = MemoryLayout()
+        a = layout.array("a", 1000, 8)
+        b = layout.array("b", 500, 4)
+        assert a.base % 8192 == 0
+        assert b.base % 8192 == 0
+        assert b.base >= a.base + a.size_bytes
+
+    def test_duplicate_name_rejected(self):
+        layout = MemoryLayout()
+        layout.array("x", 10, 4)
+        with pytest.raises(WorkloadError):
+            layout.array("x", 10, 4)
+
+    def test_footprint(self):
+        layout = MemoryLayout()
+        layout.array("a", 100, 8)
+        layout.array("b", 100, 4)
+        assert layout.footprint_bytes == 1200
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(WorkloadError):
+            MemoryLayout(base_address=1000)
+
+    def test_addressing(self):
+        ref = ArrayRef("x", 8192, 8, 100)
+        assert ref.addr(0) == 8192
+        assert ref.addr(10) == 8192 + 80
+        assert ref.line_of(8) == (8192 + 64) // 64
+
+
+class TestCoreTracer:
+    def test_load_store_emit_items(self):
+        ref = ArrayRef("x", 8192, 8, 100)
+        tracer = CoreTracer(0)
+        tracer.load(ref, 3, instructions=5, dep=2)
+        tracer.store(ref, 4)
+        load, store = tracer.items
+        assert load.address == ref.addr(3)
+        assert load.instructions == 5
+        assert load.dependency_distance == 2
+        assert store.is_store
+
+    def test_scan_coalesces_to_lines(self):
+        # 8-byte elements: 8 per cache line; a 32-element scan touches
+        # 4 lines -> 4 items.
+        ref = ArrayRef("x", 8192, 8, 1000)
+        tracer = CoreTracer(0)
+        tracer.scan(ref, 0, 32, instructions_per_elem=2)
+        assert len(tracer.items) == 4
+        assert all(item.instructions == 16 for item in tracer.items)
+
+    def test_scan_partial_lines(self):
+        ref = ArrayRef("x", 8192, 8, 1000)
+        tracer = CoreTracer(0)
+        tracer.scan(ref, 5, 11)  # crosses one line boundary
+        assert len(tracer.items) == 2
+        assert sum(item.instructions for item in tracer.items) == 6
+
+    def test_scan_empty_range(self):
+        ref = ArrayRef("x", 8192, 8, 100)
+        tracer = CoreTracer(0)
+        tracer.scan(ref, 10, 10)
+        assert tracer.items == []
+
+    def test_scan_store_flag(self):
+        ref = ArrayRef("x", 8192, 8, 100)
+        tracer = CoreTracer(0)
+        tracer.scan(ref, 0, 8, store=True)
+        assert all(item.is_store for item in tracer.items)
+
+    def test_work_and_branch(self):
+        tracer = CoreTracer(0)
+        tracer.work(100)
+        tracer.work(0)  # no-op
+        tracer.branch(mispredicts=2)
+        assert len(tracer.items) == 2
+        assert tracer.items[0].instructions == 100
+        assert tracer.items[1].branch_mispredicts == 2
+
+    def test_barrier_all(self):
+        tracers = make_tracers(3)
+        barrier_all(tracers)
+        assert all(t.items[-1].barrier for t in tracers)
+
+    def test_wide_elements_one_item_per_element(self):
+        # 64-byte elements: every element its own line.
+        ref = ArrayRef("x", 8192, 64, 100)
+        tracer = CoreTracer(0)
+        tracer.scan(ref, 0, 5)
+        assert len(tracer.items) == 5
