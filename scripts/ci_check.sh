@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests plus the fault-injection smoke suite, each under
+# a hard wall-clock timeout so a livelocked simulator fails the build
+# instead of hanging it.
+#
+# Usage: scripts/ci_check.sh [fast]
+#   fast  — additionally deselect tests marked 'slow'
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+TIER1_TIMEOUT="${TIER1_TIMEOUT:-540}"
+SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
+
+MARKER_ARGS=()
+if [[ "${1:-}" == "fast" ]]; then
+    MARKER_ARGS=(-m "not slow")
+fi
+
+echo "== tier-1 test suite (timeout ${TIER1_TIMEOUT}s) =="
+timeout --signal=KILL "$TIER1_TIMEOUT" \
+    python -m pytest -x -q "${MARKER_ARGS[@]}"
+
+echo "== fault-injection smoke (timeout ${SMOKE_TIMEOUT}s) =="
+timeout --signal=KILL "$SMOKE_TIMEOUT" \
+    python -m pytest -x -q tests/reliability/test_faults.py
+
+echo "ci_check: OK"

@@ -6,7 +6,12 @@ Subcommands:
   bandwidth/latency/cycle stacks with the bottleneck advisor's findings.
 * ``figure`` — regenerate one of the paper's figures (fig2..fig9).
 * ``trace`` — build a bandwidth stack from a stored command trace.
+* ``resume`` — continue a checkpointed run to completion.
 * ``specs`` — list the built-in DRAM timing specifications.
+
+Failures surface as one-line messages on stderr with distinct exit
+codes per error family (see :data:`repro.errors.EXIT_CODES`), never as
+tracebacks.
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ import sys
 
 from repro.analysis.report import render_report
 from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
-from repro.experiments.runner import run_gap, run_synthetic
+from repro.errors import ReproError, exit_code_for
+from repro.experiments.runner import resume_run, run_gap, run_synthetic
 from repro.trace.io import read_trace_path
 from repro.trace.offline import offline_bandwidth_stack
 from repro.viz.ascii_art import render_stacks
@@ -55,6 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("report", "csv", "json"), default="report",
         help="output format: human report, CSV table, or JSON",
     )
+    _add_reliability_args(analyze)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", choices=_FIGURES)
@@ -79,11 +86,86 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("path")
 
+    resume = sub.add_parser(
+        "resume", help="continue a checkpointed run to completion"
+    )
+    resume.add_argument(
+        "checkpoint",
+        help="checkpoint file, or a directory of them (newest is used)",
+    )
+    _add_reliability_args(resume)
+
     sub.add_parser("specs", help="list built-in timing specs")
     return parser
 
 
+def _add_reliability_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("reliability")
+    group.add_argument(
+        "--watchdog-cycles", type=int, default=None, metavar="N",
+        help="stall threshold in memory cycles (default 200000)",
+    )
+    group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write periodic checkpoints here",
+    )
+    group.add_argument(
+        "--checkpoint-interval", type=int, default=1_000_000, metavar="N",
+        help="cycles between checkpoints (default 1000000)",
+    )
+    group.add_argument(
+        "--audit-mode", choices=("strict", "warn", "repair", "off"),
+        default="warn",
+        help="invariant auditor mode (default warn)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the run",
+    )
+    group.add_argument(
+        "--no-guard", action="store_true",
+        help="disable all run-time guardrails",
+    )
+
+
+def _guard_from_args(args: argparse.Namespace):
+    """Build the run's ReliabilityGuard from CLI flags.
+
+    Returns False (run bare) for --no-guard, matching the sentinel
+    :meth:`CpuSystem.run` accepts.
+    """
+    from repro.reliability.auditor import InvariantAuditor
+    from repro.reliability.checkpoint import CheckpointManager
+    from repro.reliability.guard import ReliabilityGuard
+    from repro.reliability.watchdog import (
+        DEFAULT_STALL_THRESHOLD,
+        ForwardProgressWatchdog,
+    )
+
+    if args.no_guard:
+        return False
+    watchdog = ForwardProgressWatchdog(
+        args.watchdog_cycles or DEFAULT_STALL_THRESHOLD
+    )
+    auditor = (
+        None if args.audit_mode == "off"
+        else InvariantAuditor(mode=args.audit_mode)
+    )
+    checkpoints = None
+    if args.checkpoint_dir:
+        checkpoints = CheckpointManager(
+            args.checkpoint_dir, interval_cycles=args.checkpoint_interval
+        )
+    return ReliabilityGuard(
+        watchdog=watchdog,
+        auditor=auditor,
+        checkpoints=checkpoints,
+        wall_timeout_s=args.timeout,
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    guard = _guard_from_args(args)
     if args.workload in GAP_KERNELS:
         result, workload = run_gap(
             args.workload,
@@ -91,6 +173,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             page_policy=args.page_policy or "closed",
             address_scheme=args.scheme,
             scale=args.scale,
+            guard=guard,
         )
         title = f"GAP {workload.describe()} on {args.cores} core(s)"
     else:
@@ -101,6 +184,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             page_policy=args.page_policy or "open",
             address_scheme=args.scheme,
             scale=args.scale,
+            guard=guard,
         )
         title = (
             f"{args.workload} w{int(args.stores * 100)} on "
@@ -167,6 +251,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resume(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.errors import CheckpointError
+    from repro.reliability.checkpoint import latest_checkpoint
+
+    path = args.checkpoint
+    if os.path.isdir(path):
+        found = latest_checkpoint(path)
+        if found is None:
+            raise CheckpointError(f"no checkpoints found in {path!r}")
+        path = found
+    result = resume_run(path, guard=_guard_from_args(args))
+    bandwidth = result.bandwidth_stack("bandwidth")
+    latency = result.latency_stack("latency")
+    cycles = result.cycle_stack("cycles")
+    print(render_report(
+        bandwidth, latency, cycles, title=f"resumed from {path}"
+    ))
+    return 0
+
+
 def _cmd_specs(args: argparse.Namespace) -> int:
     for spec in (DDR4_2400, DDR4_3200, DDR5_4800):
         org = spec.organization
@@ -180,16 +286,29 @@ def _cmd_specs(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    :class:`~repro.errors.ReproError` subclasses become one-line stderr
+    messages with per-family exit codes (never tracebacks), so shell
+    scripts and CI can branch on the failure kind.
+    """
     args = _build_parser().parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
         "figure": _cmd_figure,
         "phases": _cmd_phases,
         "trace": _cmd_trace,
+        "resume": _cmd_resume,
         "specs": _cmd_specs,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(
+            f"dram-stacks: {type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,7 +24,9 @@ from repro.cpu.core import (
 from repro.cpu.hierarchy import AccessResult, CacheHierarchy, HierarchyConfig
 from repro.dram.commands import Request, RequestType
 from repro.dram.controller import ControllerConfig, MemoryController
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, SimulationStalledError
+from repro.reliability.checkpoint import ReplayableTrace
+from repro.reliability.guard import ReliabilityGuard
 from repro.stacks.bandwidth import BandwidthStackAccountant
 from repro.stacks.components import Stack, StackSeries
 from repro.stacks.cycle import CycleStackBuilder
@@ -73,6 +75,10 @@ class CpuSystem:
         # Outstanding DRAM reads per core (demand + prefetch): models the
         # L2 miss buffer that bounds each core's memory-level parallelism.
         self._dram_inflight = [0] * self.config.cores
+        #: Reliability guard for the current run (see `run`). Detached
+        #: from checkpoints on save; re-armed by `resume`.
+        self._guard: ReliabilityGuard | None = None
+        self._max_cycles: int | None = None
 
     # ------------------------------------------------------------------
     # Memory interface used by the cores
@@ -165,18 +171,69 @@ class CpuSystem:
     # Main loop
     # ------------------------------------------------------------------
     def run(
-        self, traces, max_cycles: int | None = None
+        self,
+        traces,
+        max_cycles: int | None = None,
+        guard: "ReliabilityGuard | bool | None" = None,
     ) -> "SimulationResult":
-        """Run every core's trace to completion (or `max_cycles`)."""
+        """Run every core's trace to completion (or `max_cycles`).
+
+        Args:
+            traces: one instruction trace per core.
+            max_cycles: stop once every active core passes this cycle.
+            guard: reliability guard for this run. ``None`` (the
+                default) uses :meth:`ReliabilityGuard.default` —
+                forward-progress watchdog plus warn-mode invariant
+                auditor. Pass ``False`` to run bare, or a configured
+                :class:`~repro.reliability.guard.ReliabilityGuard` to
+                add checkpoints and a wall-clock budget.
+        """
         traces = list(traces)
         if len(traces) != len(self.cores):
             raise ConfigurationError(
                 f"{len(traces)} traces for {len(self.cores)} cores"
             )
+        if guard is None:
+            guard = ReliabilityGuard.default()
+        elif guard is False:
+            guard = None
+        if guard is not None and guard.checkpoints is not None:
+            # Generator traces cannot be pickled; materialize them into
+            # position-tracking wrappers so checkpoints capture where
+            # each core's trace stands.
+            traces = [
+                t if isinstance(t, ReplayableTrace) else ReplayableTrace(t)
+                for t in traces
+            ]
         for core, trace in zip(self.cores, traces):
             core.set_trace(trace)
+        self._guard = guard
+        self._max_cycles = max_cycles
+        if guard is not None:
+            guard.attach(self)
+        return self._run_loop()
 
+    def resume(
+        self, guard: "ReliabilityGuard | None" = None
+    ) -> "SimulationResult":
+        """Continue a run restored from a checkpoint.
+
+        Checkpoints strip the guard (it holds wall-clock deadlines and
+        filesystem state); pass a fresh one here, or None to keep
+        whatever the system currently carries.
+        """
+        if guard is not None:
+            self._guard = guard
+        if self._guard is not None:
+            self._guard.attach(self)
+        return self._run_loop()
+
+    def _run_loop(self) -> "SimulationResult":
+        guard = self._guard
+        max_cycles = self._max_cycles
         while True:
+            if guard is not None:
+                guard.tick(self)
             if max_cycles is not None and self._min_core_time() > max_cycles:
                 break
             runnable = [c for c in self.cores if c.state == RUNNING]
@@ -209,12 +266,16 @@ class CpuSystem:
 
     def _advance_memory_for(self, blocked: list[IntervalCore]) -> None:
         if self.memory.pending_requests == 0:
-            raise ReproError(
-                "deadlock: cores blocked on memory with nothing pending"
+            raise SimulationStalledError(
+                "deadlock: cores blocked on memory with nothing pending",
+                diagnostic=self.memory.stall_snapshot(),
             )
         done = self.memory.run_until_next_read()
         if not done and self.memory.pending_requests == 0:
-            raise ReproError("memory drained without unblocking any core")
+            raise SimulationStalledError(
+                "memory drained without unblocking any core",
+                diagnostic=self.memory.stall_snapshot(),
+            )
         self._deliver(done)
 
     def _deliver(self, completed: list[Request]) -> None:
@@ -246,17 +307,25 @@ class CpuSystem:
         for core in self.cores:
             if core.t < end:
                 core.account_idle_until(end)
-        return SimulationResult(self, end)
+        if self._guard is not None:
+            self._guard.finish(self, end)
+        auditor = self._guard.auditor if self._guard is not None else None
+        return SimulationResult(self, end, auditor=auditor)
 
 
 class SimulationResult:
     """Everything measured in one simulation, with stack constructors."""
 
-    def __init__(self, system: CpuSystem, total_cycles: int) -> None:
+    def __init__(
+        self, system: CpuSystem, total_cycles: int, auditor=None
+    ) -> None:
         self.system = system
         self.memory = system.memory
         self.total_cycles = max(total_cycles, 1)
         self.spec = system.memory.spec
+        #: InvariantAuditor the run finished with (None for bare runs).
+        #: Stacks built from this result route violations through it.
+        self.auditor = auditor
 
     # ------------------------------------------------------------------
     @property
@@ -294,12 +363,12 @@ class SimulationResult:
     # ------------------------------------------------------------------
     def bandwidth_stack(self, label: str = "") -> Stack:
         """Aggregate bandwidth stack (GB/s, sums to peak)."""
-        acct = BandwidthStackAccountant(self.spec)
+        acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.account(self.memory.log, self.total_cycles, label)
 
     def bandwidth_series(self, bin_cycles: int, label: str = "") -> StackSeries:
         """Through-time bandwidth stacks."""
-        acct = BandwidthStackAccountant(self.spec)
+        acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.account_series(
             self.memory.log, self.total_cycles, bin_cycles, label
         )
@@ -307,7 +376,8 @@ class SimulationResult:
     def latency_stack(self, label: str = "", split_base: bool = False) -> Stack:
         """Average read-latency stack in nanoseconds."""
         acct = LatencyStackAccountant(
-            self.spec, self.base_controller_cycles, split_base
+            self.spec, self.base_controller_cycles, split_base,
+            auditor=self.auditor,
         )
         return acct.account(
             self.memory.completed_requests,
@@ -321,7 +391,8 @@ class SimulationResult:
     ) -> StackSeries:
         """Through-time latency stacks."""
         acct = LatencyStackAccountant(
-            self.spec, self.base_controller_cycles, split_base
+            self.spec, self.base_controller_cycles, split_base,
+            auditor=self.auditor,
         )
         return acct.account_series(
             self.memory.completed_requests,
@@ -337,7 +408,8 @@ class SimulationResult:
     ) -> dict[int, Stack]:
         """One latency stack per core, over that core's DRAM reads."""
         acct = LatencyStackAccountant(
-            self.spec, self.base_controller_cycles, split_base
+            self.spec, self.base_controller_cycles, split_base,
+            auditor=self.auditor,
         )
         by_core: dict[int, list] = {}
         for request in self.memory.completed_requests:
@@ -356,7 +428,7 @@ class SimulationResult:
     def per_core_bandwidth(self) -> dict[int, dict[str, float]]:
         """Achieved read/write GB/s per core (prefetch and writebacks
         count toward the core that caused them)."""
-        acct = BandwidthStackAccountant(self.spec)
+        acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.per_core_achieved(self.memory.log, self.total_cycles)
 
     def cycle_stack(self, label: str = "") -> Stack:

@@ -32,6 +32,12 @@ PAGE_POLICIES = ("open", "closed")
 #: Sentinel "infinitely far in the future" time.
 FAR_FUTURE = 1 << 62
 
+#: Scheduling steps between forward-progress watchdog observations. The
+#: stall threshold is hundreds of thousands of cycles, so a ~32-step
+#: sampling delay is invisible while keeping the healthy path free of
+#: per-step attribute chatter.
+_WATCHDOG_STRIDE = 32
+
 
 @dataclass(frozen=True)
 class ControllerConfig:
@@ -180,6 +186,12 @@ class MemoryController:
         self._write_buffer = WriteBuffer(self.config.write_queue, self.num_banks)
         self.log.drain_windows = self._write_buffer.drain_windows
 
+        #: Optional forward-progress watchdog (see
+        #: :mod:`repro.reliability.watchdog`); consulted every
+        #: ``_WATCHDOG_STRIDE`` scheduling steps when set.
+        self.watchdog = None
+        self._watchdog_countdown = 0
+
         self.now = 0
         self._last_cmd_issue = -1
         self._arrivals: list[tuple[int, int, Request]] = []  # heap
@@ -254,6 +266,96 @@ class MemoryController:
     def banks(self) -> list[Bank]:
         """The per-bank state machines (flat order)."""
         return self._banks
+
+    # ------------------------------------------------------------------
+    # Reliability hooks
+    # ------------------------------------------------------------------
+    def attach_watchdog(self, watchdog) -> None:
+        """Install a forward-progress watchdog (None to detach)."""
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.reset()
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests admitted to the queues but not yet served."""
+        return len(self._read_queue) + len(self._write_buffer)
+
+    @property
+    def last_command_cycle(self) -> int:
+        """Cycle of the last issued command (-1 before the first)."""
+        return self._last_cmd_issue
+
+    def stall_snapshot(self) -> dict:
+        """Structured diagnostic of the current scheduling state.
+
+        Returns the keyword arguments of
+        :class:`repro.reliability.watchdog.StallDiagnostic`: queue
+        contents, per-bank state, and — for every scheduling candidate —
+        the command it would issue, its earliest legal cycle and the
+        binding timing constraint when it has to wait.
+        """
+        max_requests = 32
+        queue_head = []
+        # Mirrors update_drain_mode without mutating the drain state.
+        reads_pending = bool(self._read_queue)
+        write_mode = self._write_buffer.draining or (
+            len(self._write_buffer) > 0 and not reads_pending
+        )
+        for queue in (self._read_queue, self._write_buffer.queue):
+            for entry in queue.pending_entries(limit=max_requests):
+                queue_head.append({
+                    "req_id": entry.request.req_id,
+                    "type": str(entry.request.req_type),
+                    "arrival": entry.request.arrival,
+                    "bank": entry.flat_bank,
+                    "row": entry.coords.row,
+                })
+        banks = [
+            {
+                "flat": bank.flat_index,
+                "open_row": bank.open_row,
+                "next_act": bank.next_act,
+                "next_pre": bank.next_pre,
+                "next_cas": bank.next_cas,
+            }
+            for bank in self._banks
+        ]
+        candidates = []
+        queue = self._write_buffer.queue if write_mode else self._read_queue
+        open_rows = [b.open_row for b in self._banks]
+        for entry in queue.candidates(
+            open_rows, self.config.scheduling, self.now,
+            self.config.starvation_cap,
+        ):
+            key, __, cmd_type, coords = self._plan_entry(entry, write_mode)
+            issue_at = key[0]
+            info = {
+                "req_id": entry.request.req_id,
+                "command": str(cmd_type),
+                "bank": entry.flat_bank,
+                "earliest_issue": issue_at,
+                "scope": None,
+                "reason": None,
+            }
+            if issue_at > self.now:
+                block = self._block_info(entry, cmd_type, coords, issue_at)
+                info["scope"] = block.scope.name.lower()
+                info["reason"] = block.reason
+            candidates.append(info)
+        return {
+            "cycle": self.now,
+            "last_command_cycle": self._last_cmd_issue,
+            "queued_reads": len(self._read_queue),
+            "queued_writes": len(self._write_buffer),
+            "queue_head": queue_head,
+            "banks": banks,
+            "candidates": candidates,
+            "refresh": {
+                "next_due": self._next_refresh_due,
+                "in_progress_until": self._refresh_until,
+            },
+        }
 
     @property
     def write_buffer_occupancy(self) -> int:
@@ -338,6 +440,14 @@ class MemoryController:
         nothing can happen before `t_limit` (caller should stop)."""
         self._admit_arrivals()
         self._collect_finished(self.now)
+        if self.watchdog is not None:
+            # Sampling is lossless: the watermark derives from the
+            # monotonic last-command cycle, and queues only drain by
+            # issuing commands, so skipped steps cannot hide progress.
+            self._watchdog_countdown -= 1
+            if self._watchdog_countdown <= 0:
+                self._watchdog_countdown = _WATCHDOG_STRIDE
+                self.watchdog.observe(self)
 
         # 1. Refresh in progress: nothing can issue.
         if self.now < self._refresh_until:

@@ -128,6 +128,17 @@ class RequestQueue:
         """Flat bank indices that currently have pending requests."""
         return self._active_banks
 
+    def pending_entries(self, limit: int | None = None):
+        """Unserved entries in arrival order (up to `limit`)."""
+        entries = []
+        for entry in self._global_fifo:
+            if entry.served:
+                continue
+            entries.append(entry)
+            if limit is not None and len(entries) >= limit:
+                break
+        return entries
+
     def candidates(
         self,
         open_rows: list[int | None],

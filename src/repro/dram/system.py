@@ -86,6 +86,40 @@ class MemorySystem:
         for mc in self.controllers:
             mc.finalize()
 
+    # ------------------------------------------------------------------
+    # Reliability hooks
+    # ------------------------------------------------------------------
+    def attach_watchdogs(self, threshold_cycles: int | None = None) -> list:
+        """One forward-progress watchdog per channel; returns them.
+
+        A stalled channel raises
+        :class:`~repro.errors.SimulationStalledError` from its own
+        scheduling loop, carrying that channel's diagnostic snapshot.
+        """
+        from repro.reliability.watchdog import (
+            DEFAULT_STALL_THRESHOLD,
+            ForwardProgressWatchdog,
+        )
+
+        threshold = threshold_cycles or DEFAULT_STALL_THRESHOLD
+        watchdogs = []
+        for mc in self.controllers:
+            watchdog = ForwardProgressWatchdog(threshold)
+            mc.attach_watchdog(watchdog)
+            watchdogs.append(watchdog)
+        return watchdogs
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests admitted but unserved, across all channels."""
+        return sum(mc.queued_requests for mc in self.controllers)
+
+    def stall_snapshots(self) -> dict[int, dict]:
+        """Per-channel scheduling diagnostics (see `stall_snapshot`)."""
+        return {
+            i: mc.stall_snapshot() for i, mc in enumerate(self.controllers)
+        }
+
     @property
     def peak_bandwidth_gbps(self) -> float:
         """System peak: channels x per-channel peak."""

@@ -252,6 +252,12 @@ class TimingValidator:
 
     def _check_refresh(self, command: Command, rank: _RankState) -> None:
         t = command.issue
+        if t < rank.refresh_until:
+            self._fail(
+                command,
+                f"REF issued during refresh (tRFC) "
+                f"until {rank.refresh_until}",
+            )
         for (bg, b), bank in rank.banks.items():
             if bank.open_row is not None:
                 self._fail(

@@ -41,7 +41,28 @@ class AccountingError(ReproError):
 
 
 class TraceFormatError(ReproError):
-    """A stored command trace could not be parsed."""
+    """A stored command trace could not be parsed.
+
+    Attributes:
+        line_number: 1-based line of the offending record, when known.
+        line: the offending line itself, truncated for display.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_number: int | None = None,
+        line: str | None = None,
+    ) -> None:
+        if line is not None and len(line) > 80:
+            line = line[:77] + "..."
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        if line is not None:
+            message = f"{message} [{line!r}]"
+        super().__init__(message)
+        self.line_number = line_number
+        self.line = line
 
 
 class WorkloadError(ReproError):
@@ -50,3 +71,58 @@ class WorkloadError(ReproError):
     For example: a graph kernel invoked on an empty graph, or a synthetic
     pattern with an impossible parameter combination.
     """
+
+
+class SimulationStalledError(ReproError):
+    """The forward-progress watchdog detected a livelock or deadlock.
+
+    Raised when request queues are non-empty but no DRAM command has been
+    issued for longer than the watchdog threshold. Carries a structured
+    :attr:`diagnostic` snapshot (see
+    :class:`repro.reliability.watchdog.StallDiagnostic`) describing queue
+    contents, per-bank state and the constraint blocking each scheduling
+    candidate.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+class SimulationTimeoutError(ReproError):
+    """A run exceeded its configured wall-clock budget.
+
+    Raised cooperatively by the reliability guard's periodic tick, so the
+    simulation stops at a consistent point instead of being killed.
+    """
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be written, read or applied.
+
+    Covers unreadable files, bad magic/version headers, and payloads that
+    do not contain a resumable system.
+    """
+
+
+#: Process exit codes for each error family, used by the CLI. Codes 0-2
+#: are reserved (success, generic failure, argparse usage errors).
+EXIT_CODES: dict[type, int] = {
+    ConfigurationError: 3,
+    TraceFormatError: 4,
+    TimingViolationError: 5,
+    ProtocolError: 6,
+    AccountingError: 7,
+    WorkloadError: 8,
+    SimulationStalledError: 9,
+    SimulationTimeoutError: 10,
+    CheckpointError: 11,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Process exit code for an error (most-derived class wins)."""
+    for cls in type(error).__mro__:
+        if cls in EXIT_CODES:
+            return EXIT_CODES[cls]
+    return 1

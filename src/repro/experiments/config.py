@@ -29,6 +29,35 @@ class ExperimentScale:
     tc_max_edges: int = 3_000
     bin_cycles: int = 15_000
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("ExperimentScale.name must be non-empty")
+        positive = (
+            "synthetic_accesses",
+            "graph_scale",
+            "graph_degree",
+            "pr_iterations",
+            "tc_max_edges",
+            "bin_cycles",
+        )
+        for field_name in positive:
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"ExperimentScale.{field_name} must be an int, "
+                    f"got {value!r}"
+                )
+            if value < 1:
+                raise ConfigurationError(
+                    f"ExperimentScale.{field_name} must be >= 1, "
+                    f"got {value}"
+                )
+        if self.graph_scale > 24:
+            raise ConfigurationError(
+                f"ExperimentScale.graph_scale {self.graph_scale} would "
+                f"build a >16M-vertex graph; the paper tops out at 24"
+            )
+
 
 SCALES = {
     "ci": ExperimentScale("ci"),
@@ -68,7 +97,24 @@ def paper_system(
 
     `gap=True` selects the proportionally scaled cache hierarchy used
     with the scaled-down graphs (see :func:`gap_hierarchy`).
+
+    Every knob is validated eagerly here (naming the bad field) so a
+    sweep over many points fails at construction, not mid-run.
     """
+    if not isinstance(cores, int) or isinstance(cores, bool) or cores < 1:
+        raise ConfigurationError(
+            f"paper_system(cores=...) must be a positive int, got {cores!r}"
+        )
+    if write_queue_capacity < 1:
+        raise ConfigurationError(
+            f"paper_system(write_queue_capacity=...) must be >= 1, "
+            f"got {write_queue_capacity!r}"
+        )
+    if address_scheme not in ("default", "interleaved"):
+        raise ConfigurationError(
+            f"paper_system(address_scheme=...) must be 'default' or "
+            f"'interleaved', got {address_scheme!r}"
+        )
     if hierarchy is None:
         hierarchy = gap_hierarchy() if gap else HierarchyConfig()
     memory = ControllerConfig(

@@ -56,8 +56,15 @@ def run_synthetic(
     scale: str | ExperimentScale = "ci",
     write_queue_capacity: int = 32,
     label: str = "",
+    guard=None,
 ) -> SimulationResult:
-    """Run one synthetic configuration through the full pipeline."""
+    """Run one synthetic configuration through the full pipeline.
+
+    `guard` is forwarded to :meth:`CpuSystem.run`: None for the default
+    watchdog + warn-mode auditor, False for a bare run, or a configured
+    :class:`~repro.reliability.guard.ReliabilityGuard` (e.g. with
+    checkpoints or a wall-clock budget).
+    """
     scale = get_scale(scale)
     # The scaled (GAP) hierarchy: with the paper's full 11 MB LLC, runs
     # of this length never reach write-back steady state (dirty lines
@@ -77,7 +84,7 @@ def run_synthetic(
         store_fraction=store_fraction,
     ))
     system = CpuSystem(config)
-    return system.run(workload.traces(cores))
+    return system.run(workload.traces(cores), guard=guard)
 
 
 def run_gap(
@@ -89,8 +96,12 @@ def run_gap(
     write_queue_capacity: int = 32,
     graph=None,
     seed: int = 42,
+    guard=None,
 ) -> tuple[SimulationResult, GapWorkload]:
-    """Run one GAP kernel configuration; returns (result, workload)."""
+    """Run one GAP kernel configuration; returns (result, workload).
+
+    `guard` is forwarded to :meth:`CpuSystem.run` (see `run_synthetic`).
+    """
     scale = get_scale(scale)
     params = {}
     if kernel == "pr":
@@ -113,5 +124,34 @@ def run_gap(
         gap=True,
     )
     system = CpuSystem(config)
-    result = system.run(workload.traces(cores))
+    result = system.run(workload.traces(cores), guard=guard)
     return result, workload
+
+
+def resume_run(checkpoint_path: str, guard=None) -> SimulationResult:
+    """Resume a killed run from a checkpoint file and run to completion.
+
+    Restores the full system (cores, trace positions, caches, memory
+    controller, accounting) from `checkpoint_path` and re-enters the
+    main loop. Because checkpoints are taken between loop iterations of
+    a deterministic simulator, the finished result is bit-identical to
+    the uninterrupted run.
+
+    Args:
+        checkpoint_path: file written by
+            :class:`~repro.reliability.checkpoint.CheckpointManager`
+            (or :func:`~repro.reliability.checkpoint.save_checkpoint`).
+        guard: fresh :class:`~repro.reliability.guard.ReliabilityGuard`
+            for the remainder of the run; checkpoints never include one.
+            None gets the same default guard a fresh run would (watchdog
+            plus warn-mode auditor); pass False to resume bare.
+    """
+    from repro.reliability.checkpoint import load_checkpoint
+    from repro.reliability.guard import ReliabilityGuard
+
+    system = load_checkpoint(checkpoint_path)
+    if guard is None:
+        guard = ReliabilityGuard.default()
+    elif guard is False:
+        guard = None
+    return system.resume(guard=guard)

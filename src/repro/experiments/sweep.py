@@ -9,9 +9,11 @@ figure-like slice, and for CSV export into external tooling.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.errors import ReproError
 from repro.experiments.config import ExperimentScale
 from repro.experiments.runner import run_synthetic
 from repro.stacks.components import Stack
@@ -50,13 +52,39 @@ class SweepRecord:
 
 
 @dataclass
+class SweepFailure:
+    """A sweep point that kept failing after all retries."""
+
+    point: SweepPoint
+    error: ReproError
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.point.label}: {type(self.error).__name__} after "
+            f"{self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass
 class SweepResult:
-    """All records of a sweep, with selection and export helpers."""
+    """All records of a sweep, with selection and export helpers.
+
+    A sweep with failing points still returns: `records` holds every
+    point that succeeded, `failures` the rest. Check `complete` before
+    treating the grid as fully covered.
+    """
 
     records: list[SweepRecord] = field(default_factory=list)
+    failures: list[SweepFailure] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.records)
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested point produced a record."""
+        return not self.failures
 
     def best_bandwidth(self) -> SweepRecord:
         """Record with the highest achieved bandwidth."""
@@ -114,21 +142,85 @@ def run_sweep(
     points: list[SweepPoint],
     scale: str | ExperimentScale = "ci",
     progress=None,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff_s: float = 1.0,
+    guard_factory=None,
 ) -> SweepResult:
-    """Run every point; `progress` (if given) is called per record."""
+    """Run every point; `progress` (if given) is called per record.
+
+    Robustness knobs:
+
+    Args:
+        timeout_s: wall-clock budget per point. A point that exceeds it
+            raises :class:`~repro.errors.SimulationTimeoutError`
+            internally and is retried like any other failure.
+        retries: extra attempts per failing point (so ``retries=2``
+            means up to three runs of that point).
+        backoff_s: sleep before retry `k` is ``backoff_s * 2**(k-1)``.
+        guard_factory: optional callable returning the
+            :class:`~repro.reliability.guard.ReliabilityGuard` for each
+            attempt; overrides `timeout_s`. Called fresh per attempt —
+            guards hold armed deadlines and must not be reused.
+
+    Failing points never abort the sweep: after the retry budget the
+    point is recorded in ``result.failures`` and the sweep moves on, so
+    a mostly-healthy grid still reports its healthy part.
+    """
     result = SweepResult()
     for point in points:
-        sim = run_synthetic(
-            point.pattern,
-            cores=point.cores,
-            store_fraction=point.store_fraction,
-            page_policy=point.page_policy,
-            address_scheme=point.address_scheme,
-            scale=scale,
+        outcome = _run_point(
+            point, scale, timeout_s, retries, backoff_s, guard_factory
         )
+        if isinstance(outcome, SweepFailure):
+            result.failures.append(outcome)
+            continue
+        result.records.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return result
+
+
+def _run_point(
+    point: SweepPoint,
+    scale,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    guard_factory,
+) -> "SweepRecord | SweepFailure":
+    attempts = 0
+    while True:
+        attempts += 1
+        if guard_factory is not None:
+            guard = guard_factory()
+        elif timeout_s is not None:
+            from repro.reliability.guard import ReliabilityGuard
+
+            guard = ReliabilityGuard.default()
+            guard.wall_timeout_s = timeout_s
+        else:
+            guard = None  # run_synthetic applies the default guard
+        try:
+            sim = run_synthetic(
+                point.pattern,
+                cores=point.cores,
+                store_fraction=point.store_fraction,
+                page_policy=point.page_policy,
+                address_scheme=point.address_scheme,
+                scale=scale,
+                guard=guard,
+            )
+        except ReproError as error:
+            if attempts > retries:
+                return SweepFailure(
+                    point=point, error=error, attempts=attempts
+                )
+            time.sleep(backoff_s * 2 ** (attempts - 1))
+            continue
         bandwidth = sim.bandwidth_stack(point.label)
         latency = sim.latency_stack(point.label)
-        record = SweepRecord(
+        return SweepRecord(
             point=point,
             achieved_gbps=bandwidth["read"] + bandwidth["write"],
             avg_latency_ns=latency.total,
@@ -136,7 +228,3 @@ def run_sweep(
             bandwidth=bandwidth,
             latency=latency,
         )
-        result.records.append(record)
-        if progress is not None:
-            progress(record)
-    return result

@@ -1,0 +1,40 @@
+"""Simulation guardrails: watchdog, checkpoint/resume, invariant auditing.
+
+This package keeps long simulations trustworthy and recoverable:
+
+* :mod:`~repro.reliability.watchdog` — forward-progress watchdog that
+  turns scheduler livelocks into a diagnosable
+  :class:`~repro.errors.SimulationStalledError` instead of a hang;
+* :mod:`~repro.reliability.checkpoint` — periodic serialization of the
+  whole co-simulated system so a killed run resumes where it stopped;
+* :mod:`~repro.reliability.auditor` — in-loop verification that stack
+  components sum to their totals, with ``strict`` / ``warn`` / ``repair``
+  handling;
+* :mod:`~repro.reliability.guard` — one object bundling the three,
+  ticked by the CPU-system main loop;
+* :mod:`~repro.reliability.faults` — deliberate fault injection used to
+  prove the guardrails catch what they claim to.
+"""
+
+from repro.reliability.auditor import AuditViolation, AuditWarning, InvariantAuditor
+from repro.reliability.checkpoint import (
+    CheckpointManager,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.reliability.guard import ReliabilityGuard
+from repro.reliability.watchdog import ForwardProgressWatchdog, StallDiagnostic
+
+__all__ = [
+    "AuditViolation",
+    "AuditWarning",
+    "CheckpointManager",
+    "ForwardProgressWatchdog",
+    "InvariantAuditor",
+    "ReliabilityGuard",
+    "StallDiagnostic",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,146 @@
+"""One object bundling the run-time guardrails.
+
+A :class:`ReliabilityGuard` is attached to a
+:class:`~repro.cpu.system.CpuSystem` for the duration of one run. The
+system's main loop calls :meth:`tick` once per scheduling iteration; the
+guard amortizes its own work so the healthy-path cost is an integer
+compare:
+
+* forward-progress watchdog: attached directly to the memory controller
+  (checked inside the controller's own scheduling step);
+* wall-clock budget: checked every ``_TICKS_PER_CLOCK_CHECK`` ticks,
+  raising :class:`~repro.errors.SimulationTimeoutError` cooperatively;
+* invariant auditor: incremental event-log audit every
+  ``audit_interval_cycles`` simulated cycles, plus (with
+  ``final_audit=True``) a full bandwidth/latency exactness audit when
+  the run finishes;
+* checkpoints: written every ``checkpoint.interval_cycles`` simulated
+  cycles when a :class:`~repro.reliability.checkpoint.CheckpointManager`
+  is configured.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import SimulationTimeoutError
+from repro.reliability.auditor import InvariantAuditor
+from repro.reliability.checkpoint import CheckpointManager
+from repro.reliability.watchdog import ForwardProgressWatchdog
+
+#: Loop iterations between wall-clock reads (time.monotonic is cheap but
+#: not free; the loop runs millions of iterations).
+_TICKS_PER_CLOCK_CHECK = 256
+
+
+class ReliabilityGuard:
+    """Watchdog + auditor + checkpointing + wall-clock budget for one run.
+
+    Args:
+        watchdog: forward-progress watchdog, or None to disable.
+        auditor: invariant auditor, or None to disable auditing.
+        checkpoints: checkpoint manager, or None to disable checkpoints.
+        wall_timeout_s: wall-clock budget for the run, or None.
+        audit_interval_cycles: simulated cycles between incremental
+            event-log audits.
+        final_audit: rebuild the bandwidth and latency stacks at end of
+            run purely to check exactness. Off by default: the auditor
+            travels on the :class:`SimulationResult` into every
+            accountant, so exactness is already audited whenever a
+            stack is actually built — the finish-time rebuild would
+            double that accounting work for runs that consume their
+            stacks. Turn on for runs whose results are never otherwise
+            accounted (e.g. pure soak tests).
+    """
+
+    def __init__(
+        self,
+        watchdog: ForwardProgressWatchdog | None = None,
+        auditor: InvariantAuditor | None = None,
+        checkpoints: CheckpointManager | None = None,
+        wall_timeout_s: float | None = None,
+        audit_interval_cycles: int = 250_000,
+        final_audit: bool = False,
+    ) -> None:
+        self.watchdog = watchdog
+        self.auditor = auditor
+        self.checkpoints = checkpoints
+        self.wall_timeout_s = wall_timeout_s
+        self.audit_interval_cycles = max(1, audit_interval_cycles)
+        self.final_audit = final_audit
+        self._deadline: float | None = None
+        self._tick_count = 0
+        self._last_audit_cycle = 0
+        self._audit_cursors: dict[str, int] = {}
+
+    @classmethod
+    def default(cls) -> "ReliabilityGuard":
+        """The guard every full-system run gets unless told otherwise:
+        watchdog on, auditor in ``warn`` mode, no checkpoints."""
+        return cls(
+            watchdog=ForwardProgressWatchdog(),
+            auditor=InvariantAuditor(mode="warn"),
+        )
+
+    # ------------------------------------------------------------------
+    def attach(self, system) -> None:
+        """Arm the guard for a (possibly resumed) run of `system`."""
+        if self.watchdog is not None:
+            system.memory.attach_watchdog(self.watchdog)
+        if self.wall_timeout_s is not None:
+            self._deadline = time.monotonic() + self.wall_timeout_s
+        self._tick_count = 0
+        self._last_audit_cycle = system.memory.now
+        self._audit_cursors = {}
+
+    def tick(self, system) -> None:
+        """One main-loop heartbeat; cheap unless an interval elapsed."""
+        self._tick_count += 1
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_checkpoint(system)
+        if self._tick_count % _TICKS_PER_CLOCK_CHECK:
+            return
+        if (
+            self._deadline is not None
+            and time.monotonic() > self._deadline
+        ):
+            raise SimulationTimeoutError(
+                f"run exceeded its wall-clock budget of "
+                f"{self.wall_timeout_s:.3f}s at cycle {system.memory.now}"
+            )
+        cycle = system.memory.now
+        if (
+            self.auditor is not None
+            and cycle - self._last_audit_cycle >= self.audit_interval_cycles
+        ):
+            self._last_audit_cycle = cycle
+            self.auditor.audit_log_increment(
+                system.memory.log, self._audit_cursors
+            )
+
+    def finish(self, system, total_cycles: int) -> None:
+        """End-of-run audit: drain the incremental log audit, and (when
+        ``final_audit`` is set) check the exact stack invariants."""
+        if self.auditor is None:
+            return
+        self.auditor.audit_log_increment(
+            system.memory.log, self._audit_cursors
+        )
+        if not self.final_audit:
+            return
+        self.auditor.audit_bandwidth(
+            system.memory.spec,
+            system.memory.log,
+            total_cycles,
+            bin_cycles=self.audit_interval_cycles,
+        )
+        self.auditor.audit_latency(
+            system.memory.spec,
+            system.memory.completed_requests,
+            system.memory.log.refresh_windows,
+            system.memory.log.drain_windows,
+            base_controller_cycles=(
+                system.config.core.noc_request_cycles
+                + system.config.core.noc_response_cycles
+            ),
+        )

@@ -112,11 +112,23 @@ class _ScopedCursor(_WindowCursor):
 
 
 class BandwidthStackAccountant:
-    """Builds bandwidth stacks from a controller event log."""
+    """Builds bandwidth stacks from a controller event log.
 
-    def __init__(self, spec: TimingSpec) -> None:
+    Args:
+        spec: timing spec (bank count, peak bandwidth).
+        auditor: optional
+            :class:`~repro.reliability.auditor.InvariantAuditor`. Without
+            one, any exactness violation raises
+            :class:`~repro.errors.AccountingError` immediately (strict);
+            with one, the auditor's ``strict``/``warn``/``repair`` policy
+            applies — ``repair`` folds residual cycles into ``idle`` and
+            clamps overlapping bursts so accounting can continue.
+    """
+
+    def __init__(self, spec: TimingSpec, auditor=None) -> None:
         self.spec = spec
         self.num_banks = spec.organization.total_banks
+        self.auditor = auditor
 
     # ------------------------------------------------------------------
     def account_cycles(
@@ -159,13 +171,18 @@ class BandwidthStackAccountant:
         gaps: list[tuple[int, int]] = []
         for start, end, is_write, *__ in bursts:
             if start < prev_end:
-                raise AccountingError(
-                    f"overlapping data bursts at cycle {start}"
+                message = f"overlapping data bursts at cycle {start}"
+                if self.auditor is None:
+                    raise AccountingError(message)
+                self.auditor.report(
+                    "burst-overlap", message, residual=prev_end - start
                 )
+                # Clamp so the overlapped cycles are attributed once.
+                start = min(prev_end, end)
             if start > prev_end:
                 gaps.append((prev_end, min(start, total_cycles)))
             add("write" if is_write else "read", start, end, n)
-            prev_end = end
+            prev_end = max(prev_end, end)
         if prev_end < total_cycles:
             gaps.append((prev_end, total_cycles))
 
@@ -195,10 +212,17 @@ class BandwidthStackAccountant:
         # --- 3. Exactness check ----------------------------------------
         for b, counters in enumerate(bins):
             length = min(total_cycles - b * bin_cycles, bin_cycles)
-            if sum(counters.values()) != n * length:
-                raise AccountingError(
+            residual = n * length - sum(counters.values())
+            if residual != 0:
+                message = (
                     f"bin {b}: components sum to {sum(counters.values())}, "
                     f"expected {n * length}"
+                )
+                if self.auditor is None:
+                    raise AccountingError(message)
+                self.auditor.report(
+                    "bandwidth-sum", message, residual=residual,
+                    repair=lambda c=counters, r=residual: _repair_bin(c, r),
                 )
         return bins
 
@@ -298,7 +322,15 @@ class BandwidthStackAccountant:
             unit="GB/s",
             label=label,
         )
-        stack.check_total(peak)
+        if self.auditor is None:
+            stack.check_total(peak)
+        else:
+            try:
+                stack.check_total(peak)
+            except AccountingError as error:
+                # Already counted at the bin level in repair mode; in
+                # warn mode this records that the stack shipped skewed.
+                self.auditor.report("bandwidth-total", str(error))
         return stack
 
 
@@ -326,6 +358,24 @@ class BandwidthStackAccountant:
             core: {kind: count * scale for kind, count in bucket.items()}
             for core, bucket in sorted(cycles.items())
         }
+
+
+def _repair_bin(counters: dict[str, int], residual: int) -> None:
+    """Fold a cycle residual into ``idle`` so the bin sums exactly.
+
+    A positive residual (lost cycles) lands in ``idle`` directly; a
+    negative one (double-counted cycles) drains ``idle`` first and then
+    the largest remaining component.
+    """
+    counters["idle"] += residual
+    if counters["idle"] < 0:
+        deficit = -counters["idle"]
+        counters["idle"] = 0
+        victim = max(
+            (name for name in counters if name != "idle"),
+            key=lambda name: counters[name],
+        )
+        counters[victim] -= deficit
 
 
 def bandwidth_stack_from_log(

@@ -51,16 +51,28 @@ class LatencyStackAccountant:
         base_controller_cycles: int = 0,
         split_base: bool = False,
         include_prefetch: bool = True,
+        auditor=None,
     ) -> None:
         self.spec = spec
         self.base_controller_cycles = base_controller_cycles
         self.split_base = split_base
         self.include_prefetch = include_prefetch
+        #: Optional InvariantAuditor; None keeps the historical strict
+        #: behavior (raise AccountingError on any decomposition drift).
+        self.auditor = auditor
 
     @property
     def components(self) -> tuple[str, ...]:
         """Component order for this configuration."""
         return LATENCY_COMPONENTS_SPLIT if self.split_base else LATENCY_COMPONENTS
+
+    def _violation(
+        self, kind: str, message: str, residual: float = 0.0, repair=None
+    ) -> None:
+        """Raise or route a decomposition violation through the auditor."""
+        if self.auditor is None:
+            raise AccountingError(message)
+        self.auditor.report(kind, message, residual=residual, repair=repair)
 
     # ------------------------------------------------------------------
     def decompose(
@@ -125,16 +137,36 @@ class LatencyStackAccountant:
         sums = dict.fromkeys(self.components, 0.0)
         for request in reads:
             parts = self.decompose(request, refresh_windows, drain_windows)
-            for name, value in parts.items():
-                sums[name] += value
+            negatives = [
+                name for name, value in parts.items() if value < -1e-9
+            ]
+            if negatives:
+                message = (
+                    f"negative latency component(s) {negatives} for "
+                    f"request {request.req_id} "
+                    f"(arrival {request.arrival}, cas {request.cas_issue})"
+                )
+                self._violation(
+                    "latency-negative", message,
+                    repair=lambda p=parts: _repair_parts(p),
+                )
             measured = (
                 request.finish - request.arrival + self.base_controller_cycles
             )
-            if abs(sum(parts.values()) - measured) > 1e-9:
-                raise AccountingError(
+            drift = sum(parts.values()) - measured
+            if abs(drift) > 1e-9:
+                message = (
                     f"latency components sum to {sum(parts.values())} for a "
                     f"read with measured latency {measured}"
                 )
+                self._violation(
+                    "latency-sum", message, residual=drift,
+                    repair=lambda p=parts, d=drift: p.__setitem__(
+                        "queue", p["queue"] - d
+                    ),
+                )
+            for name, value in parts.items():
+                sums[name] += value
         scale = self.spec.cycle_ns / len(reads)
         return ordered_stack(
             {name: value * scale for name, value in sums.items()},
@@ -171,6 +203,22 @@ class LatencyStackAccountant:
             for b, bucket in enumerate(buckets)
         ]
         return StackSeries(stacks, bin_cycles, self.spec.cycle_ns, label=label)
+
+
+def _repair_parts(parts: dict[str, float]) -> None:
+    """Clamp negative components to zero, preserving the total.
+
+    The clamped amount is taken from the largest positive component, so
+    the per-read sum (and thus the exactness invariant) is unchanged.
+    """
+    clamped = 0.0
+    for name, value in parts.items():
+        if value < 0:
+            clamped -= value
+            parts[name] = 0.0
+    if clamped:
+        victim = max(parts, key=parts.get)
+        parts[victim] -= clamped
 
 
 def latency_stack_from_requests(

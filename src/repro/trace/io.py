@@ -40,28 +40,52 @@ def write_trace_path(trace: TraceFile, path: str) -> None:
 
 
 def read_trace(lines: Iterable[str]) -> TraceFile:
-    """Parse a trace from text lines."""
-    iterator = iter(_meaningful(lines))
-    header = next(iterator, None)
-    if header is None:
-        raise TraceFormatError("empty trace")
-    fields = header.split()
-    if len(fields) != 4 or fields[0] != _MAGIC or fields[1] != _VERSION:
-        raise TraceFormatError(f"bad trace header: {header!r}")
-    trace = TraceFile(spec_name=fields[2], total_cycles=int(fields[3]))
-    for number, line in enumerate(iterator, start=2):
-        fields = line.split()
+    """Parse a trace from text lines.
+
+    Errors carry the 1-based *file* line number (comments and blank
+    lines count) and the offending line, so a corrupted record in a
+    large trace can be found with a text editor.
+    """
+    trace: TraceFile | None = None
+    for number, raw in enumerate(lines, start=1):
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        fields = stripped.split()
+        if trace is None:
+            if (
+                len(fields) != 4
+                or fields[0] != _MAGIC
+                or fields[1] != _VERSION
+            ):
+                raise TraceFormatError(
+                    "bad trace header", line_number=number, line=stripped
+                )
+            try:
+                total_cycles = int(fields[3])
+            except ValueError as error:
+                raise TraceFormatError(
+                    "bad total-cycles in trace header",
+                    line_number=number,
+                    line=stripped,
+                ) from error
+            trace = TraceFile(spec_name=fields[2], total_cycles=total_cycles)
+            continue
         try:
             if fields[0] == "REQ":
                 trace.requests.append(_parse_req(fields))
             elif fields[0] == "CMD":
                 trace.commands.append(_parse_cmd(fields))
             else:
-                raise TraceFormatError(f"unknown record {fields[0]!r}")
+                raise ValueError(f"unknown record {fields[0]!r}")
         except (IndexError, ValueError) as error:
             raise TraceFormatError(
-                f"malformed trace line {number}: {line!r}"
+                f"malformed trace record: {error}",
+                line_number=number,
+                line=stripped,
             ) from error
+    if trace is None:
+        raise TraceFormatError("empty trace")
     return trace
 
 
@@ -69,13 +93,6 @@ def read_trace_path(path: str) -> TraceFile:
     """Parse a trace from a file."""
     with open(path, encoding="utf-8") as handle:
         return read_trace(handle)
-
-
-def _meaningful(lines: Iterable[str]):
-    for line in lines:
-        stripped = line.strip()
-        if stripped and not stripped.startswith("#"):
-            yield stripped
 
 
 def _parse_req(fields: list[str]) -> RequestRecord:

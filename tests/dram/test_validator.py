@@ -215,3 +215,63 @@ class TestClosedLoopConformance:
         system.run(workload.traces(4))
         checked = validate_controller(system.memory)
         assert checked > 500
+
+
+def ref(t, rank=0):
+    return Command(CommandType.REFRESH, t, rank, 0, 0)
+
+
+class TestRefreshRules:
+    """JEDEC refresh discipline: banks precharged at REF, nothing in
+    flight, and full silence for tRFC afterwards."""
+
+    def test_legal_refresh_cycle(self):
+        commands = [
+            act(0),
+            rd(SPEC.tRCD),
+            pre(max(SPEC.tRAS, SPEC.tRCD + SPEC.tRTP)),
+            ref(max(SPEC.tRAS, SPEC.tRCD + SPEC.tRTP) + SPEC.tRP
+                + SPEC.tCL + SPEC.burst_cycles),
+        ]
+        TimingValidator(SPEC).validate(commands)
+
+    def test_ref_with_open_row_rejected(self):
+        commands = [act(0), ref(SPEC.tRCD + 100)]
+        with pytest.raises(TimingViolationError, match="open"):
+            TimingValidator(SPEC).validate(commands)
+
+    def test_command_inside_trfc_rejected(self):
+        commands = [ref(0), act(SPEC.tRFC - 1)]
+        with pytest.raises(TimingViolationError, match="tRFC"):
+            TimingValidator(SPEC).validate(commands)
+
+    def test_first_command_after_trfc_accepted(self):
+        TimingValidator(SPEC).validate([ref(0), act(SPEC.tRFC)])
+
+    def test_trp_before_ref_rejected(self):
+        t_pre = SPEC.tRAS
+        commands = [
+            act(0),
+            pre(t_pre),
+            ref(t_pre + SPEC.tRP - 1),
+        ]
+        with pytest.raises(TimingViolationError, match="tRP before REF"):
+            TimingValidator(SPEC).validate(commands)
+
+    def test_ref_inside_previous_trfc_rejected(self):
+        commands = [ref(0), ref(SPEC.tRFC - 1)]
+        with pytest.raises(TimingViolationError, match="tRFC"):
+            TimingValidator(SPEC).validate(commands)
+
+    def test_back_to_back_ref_at_trfc_accepted(self):
+        TimingValidator(SPEC).validate([ref(0), ref(SPEC.tRFC)])
+
+    def test_controller_refresh_stream_conforms(self):
+        """A run long enough to include real refreshes still validates."""
+        mc = MemoryController(ControllerConfig(keep_command_trace=True))
+        for i in range(400):
+            mc.enqueue(Request(RequestType.READ, i * 64, arrival=i * 40))
+        mc.drain()
+        mc.finalize()
+        assert mc.log.refresh_windows, "run too short to exercise refresh"
+        validate_controller(mc)

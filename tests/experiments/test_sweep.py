@@ -82,3 +82,104 @@ class TestRunSweep:
             [SweepPoint()], scale=TINY, progress=lambda r: seen.append(r)
         )
         assert len(seen) == 1
+
+
+class TestRobustness:
+    """Per-point timeout, retry-with-backoff and partial results."""
+
+    def test_failing_point_recorded_not_fatal(self, monkeypatch):
+        from repro.errors import SimulationStalledError
+        from repro.experiments import sweep as sweep_mod
+
+        real = sweep_mod.run_synthetic
+
+        def flaky(pattern, **kwargs):
+            if pattern == "random":
+                raise SimulationStalledError("injected stall")
+            return real(pattern, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "run_synthetic", flaky)
+        points = grid(patterns=("sequential", "random"))
+        result = run_sweep(points, scale=TINY)
+        assert not result.complete
+        assert len(result.records) == 1
+        assert result.records[0].point.pattern == "sequential"
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.point.pattern == "random"
+        assert isinstance(failure.error, SimulationStalledError)
+        assert failure.attempts == 1
+        assert "SimulationStalledError" in str(failure)
+
+    def test_retry_with_backoff_then_success(self, monkeypatch):
+        from repro.errors import SimulationTimeoutError
+        from repro.experiments import sweep as sweep_mod
+
+        real = sweep_mod.run_synthetic
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky(pattern, **kwargs):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise SimulationTimeoutError("injected timeout")
+            return real(pattern, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "run_synthetic", flaky)
+        monkeypatch.setattr(sweep_mod.time, "sleep", sleeps.append)
+        result = run_sweep(
+            [SweepPoint()], scale=TINY, retries=2, backoff_s=0.5
+        )
+        assert result.complete
+        assert calls["n"] == 3
+        assert sleeps == [0.5, 1.0]  # exponential backoff
+
+    def test_retries_exhausted(self, monkeypatch):
+        from repro.errors import SimulationTimeoutError
+        from repro.experiments import sweep as sweep_mod
+
+        def always_fails(pattern, **kwargs):
+            raise SimulationTimeoutError("injected timeout")
+
+        monkeypatch.setattr(sweep_mod, "run_synthetic", always_fails)
+        monkeypatch.setattr(sweep_mod.time, "sleep", lambda s: None)
+        result = run_sweep([SweepPoint()], scale=TINY, retries=2)
+        assert len(result.failures) == 1
+        assert result.failures[0].attempts == 3
+
+    def test_timeout_builds_deadline_guard(self, monkeypatch):
+        from repro.experiments import sweep as sweep_mod
+
+        seen = {}
+
+        def capture(pattern, **kwargs):
+            seen["guard"] = kwargs["guard"]
+            return None
+
+        monkeypatch.setattr(sweep_mod, "run_synthetic", capture)
+        with pytest.raises(AttributeError):
+            # The stub returns None; the sweep then touching the result
+            # proves run_synthetic actually received the guard first.
+            run_sweep([SweepPoint()], scale=TINY, timeout_s=30.0)
+        assert seen["guard"].wall_timeout_s == 30.0
+        assert seen["guard"].watchdog is not None
+
+    def test_guard_factory_called_per_attempt(self, monkeypatch):
+        from repro.errors import SimulationTimeoutError
+        from repro.experiments import sweep as sweep_mod
+
+        made = []
+
+        def factory():
+            made.append(object())
+            return None  # run_synthetic treats None as default guard
+
+        def always_fails(pattern, **kwargs):
+            raise SimulationTimeoutError("injected")
+
+        monkeypatch.setattr(sweep_mod, "run_synthetic", always_fails)
+        monkeypatch.setattr(sweep_mod.time, "sleep", lambda s: None)
+        run_sweep(
+            [SweepPoint()], scale=TINY, retries=2, guard_factory=factory
+        )
+        assert len(made) == 3

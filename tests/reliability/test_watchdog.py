@@ -1,0 +1,132 @@
+"""Tests for the forward-progress watchdog."""
+
+import pytest
+
+from repro.dram import (
+    ControllerConfig,
+    MemoryController,
+    Request,
+    RequestType,
+)
+from repro.errors import ConfigurationError, SimulationStalledError
+from repro.reliability.faults import force_stall
+from repro.reliability.watchdog import (
+    DEFAULT_STALL_THRESHOLD,
+    ForwardProgressWatchdog,
+    StallDiagnostic,
+)
+
+
+class FakeController:
+    """Duck-typed stand-in exposing exactly what observe() reads."""
+
+    def __init__(self):
+        self.now = 0
+        self.queued_requests = 0
+        self.last_command_cycle = -1
+
+    def stall_snapshot(self):
+        return {
+            "cycle": self.now,
+            "last_command_cycle": self.last_command_cycle,
+            "queued_reads": self.queued_requests,
+            "queued_writes": 0,
+        }
+
+
+class TestUnit:
+    def test_quiet_when_queue_empty(self):
+        dog = ForwardProgressWatchdog(threshold_cycles=10)
+        fake = FakeController()
+        for now in (0, 100, 10_000):
+            fake.now = now
+            dog.observe(fake)
+        assert dog.stalls_detected == 0
+
+    def test_fires_past_threshold_with_work_queued(self):
+        dog = ForwardProgressWatchdog(threshold_cycles=100)
+        fake = FakeController()
+        fake.queued_requests = 3
+        fake.now = 100
+        dog.observe(fake)  # exactly at threshold: still fine
+        fake.now = 101
+        with pytest.raises(SimulationStalledError) as info:
+            dog.observe(fake)
+        assert dog.stalls_detected == 1
+        diag = info.value.diagnostic
+        assert isinstance(diag, StallDiagnostic)
+        assert diag.cycle == 101
+        assert diag.queued_reads == 3
+
+    def test_command_issue_resets_silence(self):
+        dog = ForwardProgressWatchdog(threshold_cycles=100)
+        fake = FakeController()
+        fake.queued_requests = 1
+        fake.now = 90
+        dog.observe(fake)
+        fake.last_command_cycle = 90  # progress happened
+        fake.now = 180
+        dog.observe(fake)  # 90 cycles of silence: fine
+        fake.now = 191
+        with pytest.raises(SimulationStalledError):
+            dog.observe(fake)
+
+    def test_empty_queue_moves_watermark(self):
+        dog = ForwardProgressWatchdog(threshold_cycles=100)
+        fake = FakeController()
+        fake.now = 1_000
+        dog.observe(fake)  # idle: watermark follows time
+        fake.queued_requests = 1
+        fake.now = 1_050
+        dog.observe(fake)  # only 50 cycles with work queued
+        assert dog.stalls_detected == 0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError, match="threshold_cycles"):
+            ForwardProgressWatchdog(threshold_cycles=0)
+
+    def test_default_threshold(self):
+        assert ForwardProgressWatchdog().threshold_cycles \
+            == DEFAULT_STALL_THRESHOLD
+
+
+class TestIntegration:
+    def test_forced_stall_detected_with_diagnostic(self):
+        mc = MemoryController(ControllerConfig())
+        mc.attach_watchdog(ForwardProgressWatchdog(threshold_cycles=2_000))
+        force_stall(mc)
+        for i in range(8):
+            mc.enqueue(Request(RequestType.READ, i * 64, arrival=i))
+        with pytest.raises(SimulationStalledError) as info:
+            mc.drain()
+        diag = info.value.diagnostic
+        assert diag.queued_reads == 8
+        assert diag.queue_head, "queue head should list pending requests"
+        assert diag.banks, "per-bank state should be captured"
+        # Every candidate the scheduler considered is pushed to the far
+        # future by the fault, so each should report an earliest issue.
+        assert diag.candidates
+        for cand in diag.candidates:
+            assert cand["earliest_issue"] > diag.cycle
+        # The rendering is part of the error message.
+        assert "read(s)" in str(info.value)
+
+    def test_healthy_run_never_fires(self):
+        mc = MemoryController(ControllerConfig())
+        mc.attach_watchdog(ForwardProgressWatchdog(threshold_cycles=2_000))
+        for i in range(64):
+            mc.enqueue(Request(RequestType.READ, i * 64, arrival=i * 4))
+        mc.drain()
+        mc.finalize()
+        assert mc.watchdog.stalls_detected == 0
+
+    def test_memory_system_attach(self):
+        from repro.dram.system import MemorySystem, MemorySystemConfig
+
+        system = MemorySystem(MemorySystemConfig(channels=2))
+        dogs = system.attach_watchdogs(threshold_cycles=5_000)
+        assert len(dogs) == 2
+        assert all(
+            mc.watchdog is dog
+            for mc, dog in zip(system.controllers, dogs)
+        )

@@ -84,3 +84,108 @@ class TestPhases:
         assert main(["phases", "phased", "--threshold", "0.35"]) == 0
         out = capsys.readouterr().out
         assert "phase(s):" in out
+
+
+class TestExitCodes:
+    """ReproError subclasses map to distinct exit codes with one-line
+    stderr messages — no tracebacks. Verified in-process and through a
+    real subprocess (what shell scripts and CI actually see)."""
+
+    def test_configuration_error_in_process(self, capsys):
+        code = main(["analyze", "random", "--cores", "0"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "ConfigurationError" in err
+        assert "cores" in err
+
+    def test_trace_format_error_in_process(self, tmp_path, capsys):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("DRAMTRACE v1 DDR4-2400 100\nREQ zero R 0x0 1\n")
+        code = main(["trace", str(bad)])
+        assert code == 4
+        err = capsys.readouterr().err
+        assert "line 2" in err
+
+    def test_checkpoint_error_in_process(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        code = main(["resume", str(empty)])
+        assert code == 11
+        assert "CheckpointError" in capsys.readouterr().err
+
+
+def run_cli(args, cwd=None):
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = os.path.join(root, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+class TestSubprocess:
+    def test_success_exit_zero(self):
+        proc = run_cli(["specs"])
+        assert proc.returncode == 0
+        assert "DDR4-2400" in proc.stdout
+
+    def test_configuration_error_exit_code(self):
+        proc = run_cli(["analyze", "random", "--cores", "0"])
+        assert proc.returncode == 3
+        assert "ConfigurationError" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_corrupt_trace_exit_code(self, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text(
+            "DRAMTRACE v1 DDR4-2400 100\n"
+            "REQ 0 R 0x0 1\n"
+            "CMD 1 XYZ 0 0 0 1\n"
+        )
+        proc = run_cli(["trace", str(bad)])
+        assert proc.returncode == 4
+        assert "line 3" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_missing_checkpoint_exit_code(self, tmp_path):
+        proc = run_cli(["resume", str(tmp_path / "ghost.repro")])
+        assert proc.returncode == 11
+        assert "CheckpointError" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_usage_errors_keep_argparse_code(self):
+        proc = run_cli(["analyze", "bananas"])
+        assert proc.returncode == 2  # argparse's own exit code
+
+
+class TestResume:
+    def test_resume_checkpoint_end_to_end(self, tmp_path, capsys):
+        from repro.experiments.runner import run_synthetic
+        from repro.reliability.auditor import InvariantAuditor
+        from repro.reliability.checkpoint import CheckpointManager
+        from repro.reliability.guard import ReliabilityGuard
+        from repro.reliability.watchdog import ForwardProgressWatchdog
+
+        guard = ReliabilityGuard(
+            watchdog=ForwardProgressWatchdog(),
+            auditor=InvariantAuditor(mode="warn"),
+            checkpoints=CheckpointManager(
+                str(tmp_path), interval_cycles=20_000
+            ),
+        )
+        run_synthetic("random", cores=2, scale="ci", guard=guard)
+        assert guard.checkpoints.latest is not None
+        code = main(["resume", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert "Bandwidth stack" in out

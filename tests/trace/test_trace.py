@@ -127,3 +127,47 @@ class TestOfflineReconstruction:
         ) * spec.peak_bandwidth_gbps
         assert stack["read"] == pytest.approx(expected_read)
         assert stack["activate"] > 0
+
+
+class TestCorruptedRoundTrip:
+    """Write a real trace, damage one line, and check the parser names
+    exactly where it broke."""
+
+    def lines(self):
+        buffer = io.StringIO()
+        write_trace(capture_trace(run_recorded(80)), buffer)
+        return buffer.getvalue().splitlines()
+
+    def test_each_fault_kind_names_the_line(self):
+        from repro.reliability.faults import TRACE_FAULTS, corrupt_trace_lines
+
+        for kind in TRACE_FAULTS:
+            lines = self.lines()
+            index = len(lines) // 3
+            with pytest.raises(TraceFormatError) as info:
+                read_trace(corrupt_trace_lines(lines, kind, line_index=index))
+            assert info.value.line_number == index + 1, kind
+            assert info.value.line, kind
+
+    def test_line_numbers_count_comments_and_blanks(self):
+        lines = self.lines()
+        # Three non-record lines pushed in front: the reported number
+        # must still be the *file* line, or editors point at the wrong
+        # place.
+        lines = ["# generated", "", "# spec: DDR4-2400"] + lines
+        lines[10] = "REQ not-a-number R 0x40 1"
+        with pytest.raises(TraceFormatError) as info:
+            read_trace(lines)
+        assert info.value.line_number == 11
+
+    def test_long_line_truncated_in_message(self):
+        lines = self.lines()
+        lines[5] = "REQ " + "x" * 500
+        with pytest.raises(TraceFormatError) as info:
+            read_trace(lines)
+        assert len(info.value.line) <= 80
+        assert info.value.line.endswith("...")
+
+    def test_intact_trace_still_round_trips(self):
+        reread = read_trace(self.lines())
+        assert reread.requests and reread.commands
