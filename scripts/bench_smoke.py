@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Wall-clock smoke benchmark: regenerate Fig. 2 at CI scale and gate on
+slowdowns against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py            # measure + gate
+    PYTHONPATH=src python scripts/bench_smoke.py --update-baseline
+
+Measures ``fig2.run(scale="ci")`` (the benchmark the hot-loop overhaul
+was tuned on: 8 runs, sequential/random × 1–8 cores, plus full stack
+accounting) and writes the result to ``BENCH_PR2.json`` next to the
+committed baseline. Exit status:
+
+* 0 — within 10% of baseline (or faster);
+* 0 with a warning — 10–25% slower;
+* 1 — more than 25% slower, or the result fingerprint changed.
+
+The gate is intentionally loose: wall-clock noise across machines is
+real, so only large regressions fail. The *correctness* of the timed
+code is pinned separately by ``tests/golden`` — but as a belt-and-braces
+check this script also fingerprints one of the timed runs and refuses to
+report a timing for changed results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_FILE = REPO_ROOT / "BENCH_PR2.json"
+
+WARN_SLOWDOWN = 0.10
+FAIL_SLOWDOWN = 0.25
+#: Wall seconds of fig2(ci) on the pre-overhaul tree (same machine the
+#: committed baseline was taken on); kept for the speedup report only.
+SEED_SECONDS = 32.3
+
+
+def measure() -> tuple[float, str]:
+    """Time one fig2(ci) regeneration; returns (seconds, digest)."""
+    from repro.experiments import fig2
+    from repro.experiments.runner import run_synthetic
+    from repro.reliability.fingerprint import result_fingerprint
+
+    start = time.perf_counter()
+    fig2.run(scale="ci")
+    elapsed = time.perf_counter() - start
+    # Fingerprint a representative configuration (2-core random) so a
+    # "speedup" that changes results is flagged right here.
+    digest = result_fingerprint(
+        run_synthetic("random", cores=2, scale="ci", guard=False)
+    )["digest"]
+    return elapsed, digest
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="record this measurement as the new baseline",
+    )
+    args = parser.parse_args(argv)
+
+    previous = {}
+    if RESULT_FILE.exists():
+        previous = json.loads(RESULT_FILE.read_text())
+
+    elapsed, digest = measure()
+    baseline = previous.get("baseline_seconds")
+    baseline_digest = previous.get("fingerprint")
+
+    status = "ok"
+    message = f"fig2(ci): {elapsed:.1f}s"
+    if args.update_baseline or baseline is None:
+        baseline = elapsed
+        message += " (baseline updated)"
+    else:
+        ratio = elapsed / baseline - 1.0
+        message += f" vs baseline {baseline:.1f}s ({ratio:+.0%})"
+        if baseline_digest is not None and digest != baseline_digest:
+            status = "fingerprint-changed"
+        elif ratio > FAIL_SLOWDOWN:
+            status = "fail"
+        elif ratio > WARN_SLOWDOWN:
+            status = "warn"
+
+    if args.update_baseline or baseline_digest is None:
+        baseline_digest = digest
+
+    RESULT_FILE.write_text(json.dumps({
+        "benchmark": "fig2-ci",
+        "baseline_seconds": round(baseline, 2),
+        "measured_seconds": round(elapsed, 2),
+        "seed_seconds": SEED_SECONDS,
+        "speedup_vs_seed": round(SEED_SECONDS / elapsed, 2),
+        "fingerprint": baseline_digest,
+        "status": status,
+    }, indent=2, sort_keys=True) + "\n")
+
+    if status == "fingerprint-changed":
+        print(
+            f"bench_smoke: FAIL — simulation results changed "
+            f"(fingerprint {digest[:12]} != baseline "
+            f"{baseline_digest[:12]}); regenerate the golden fixtures "
+            f"and re-baseline deliberately",
+            file=sys.stderr,
+        )
+        return 1
+    if status == "fail":
+        print(
+            f"bench_smoke: FAIL — {message} exceeds the "
+            f"{FAIL_SLOWDOWN:.0%} slowdown gate",
+            file=sys.stderr,
+        )
+        return 1
+    if status == "warn":
+        print(
+            f"bench_smoke: WARNING — {message} exceeds the "
+            f"{WARN_SLOWDOWN:.0%} soft gate",
+            file=sys.stderr,
+        )
+        return 0
+    print(f"bench_smoke: {message}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

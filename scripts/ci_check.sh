@@ -12,6 +12,7 @@ export PYTHONPATH=src
 
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-540}"
 SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
+BENCH_TIMEOUT="${BENCH_TIMEOUT:-180}"
 
 MARKER_ARGS=()
 if [[ "${1:-}" == "fast" ]]; then
@@ -25,5 +26,11 @@ timeout --signal=KILL "$TIER1_TIMEOUT" \
 echo "== fault-injection smoke (timeout ${SMOKE_TIMEOUT}s) =="
 timeout --signal=KILL "$SMOKE_TIMEOUT" \
     python -m pytest -x -q tests/reliability/test_faults.py
+
+echo "== wall-clock smoke benchmark (timeout ${BENCH_TIMEOUT}s) =="
+# Gates on BENCH_PR2.json: warns past a 10% slowdown, fails past 25%
+# or if the timed runs' result fingerprint changed.
+timeout --signal=KILL "$BENCH_TIMEOUT" \
+    python scripts/bench_smoke.py
 
 echo "ci_check: OK"

@@ -78,6 +78,7 @@ class SetAssociativeCache:
         self.name = name
         self.stats = CacheStats()
         self._set_mask = config.num_sets - 1
+        self._ways = config.ways
         self._sets: list[dict[int, bool]] = [
             {} for _ in range(config.num_sets)
         ]
@@ -88,7 +89,7 @@ class SetAssociativeCache:
     # ------------------------------------------------------------------
     def lookup(self, line: int, is_write: bool = False) -> bool:
         """Probe for `line`; updates LRU and dirty state on hit."""
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line & self._set_mask]
         if line not in cache_set:
             self.stats.misses += 1
             return False
@@ -101,13 +102,13 @@ class SetAssociativeCache:
         self, line: int, dirty: bool = False
     ) -> tuple[int, bool] | None:
         """Fill `line`; returns (evicted_line, was_dirty) if a line left."""
-        cache_set = self._set_for(line)
+        cache_set = self._sets[line & self._set_mask]
         if line in cache_set:
             was_dirty = cache_set.pop(line)
             cache_set[line] = was_dirty or dirty
             return None
         evicted = None
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self._ways:
             victim = next(iter(cache_set))
             was_dirty = cache_set.pop(victim)
             self.stats.evictions += 1

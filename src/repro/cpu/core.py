@@ -147,6 +147,14 @@ class IntervalCore:
         self.cycle_stack = CycleStackBuilder(
             config.cycle_stack_bin, cycle_ns
         )
+        # Hot-loop constants hoisted out of the (frozen) config: property
+        # and attribute-chain lookups dominate the dispatch loop otherwise.
+        self._ipc = config.instructions_per_cycle
+        self._rob_size = config.rob_size
+        self._mshrs = config.mshrs
+        self._branch_penalty = config.branch_penalty
+        self._noc_response = config.noc_response_cycles
+        self._line_shift = hierarchy.config.l1.line_bytes.bit_length() - 1
 
         self.t = 0.0
         self._trace = iter(())
@@ -175,9 +183,7 @@ class IntervalCore:
     # ------------------------------------------------------------------
     def complete_request(self, load: OutstandingLoad, request: Request) -> None:
         """The DRAM request backing `load` finished."""
-        load.complete = (
-            request.finish + self.config.noc_response_cycles
-        )
+        load.complete = request.finish + self._noc_response
         if self.state == BLOCKED and self._can_unblock():
             self._resume()
 
@@ -275,7 +281,7 @@ class IntervalCore:
             if not self._dispatch_instructions(item):
                 return self.state  # blocked inside the ROB stall
             if item.branch_mispredicts:
-                penalty = item.branch_mispredicts * self.config.branch_penalty
+                penalty = item.branch_mispredicts * self._branch_penalty
                 self.cycle_stack.add("branch", self.t, penalty)
                 self.t += penalty
             if item.has_memory_op and not self._issue_memory(item):
@@ -309,40 +315,46 @@ class IntervalCore:
     def _dispatch_instructions(self, item: TraceItem) -> bool:
         """Advance time for `item.instructions`, honoring the ROB bound."""
         remaining = item.instructions
-        rate = self.config.instructions_per_cycle
+        rate = self._ipc
+        rob_size = self._rob_size
+        stats = self.stats
+        add = self.cycle_stack.add
         while remaining > 0:
-            room = self._rob_room()
-            if room <= 0:
-                oldest = self._oldest_blocking_load()
-                if oldest is None:
-                    # Only non-blocking stores fill the window; treat as
-                    # ROB room (stores retire without waiting for data).
-                    room = remaining
-                elif not self._wait_for(oldest):
-                    return False
-                else:
+            blocking = self._oldest_blocking_load()
+            if blocking is None:
+                # Only non-blocking stores (if anything) fill the window;
+                # stores retire without waiting for data, so the full ROB
+                # is available.
+                room = rob_size
+            else:
+                room = rob_size - (stats.instructions - blocking.index)
+                if room <= 0:
+                    if not self._wait_for(blocking):
+                        return False
                     continue
-            chunk = min(remaining, room)
+            chunk = remaining if remaining < room else room
             duration = chunk / rate
-            self.cycle_stack.add("base", self.t, duration)
+            add("base", self.t, duration)
             self.t += duration
-            self.stats.instructions += chunk
+            stats.instructions += chunk
             remaining -= chunk
         return True
 
     def _rob_room(self) -> int:
         blocking = self._oldest_blocking_load()
         if blocking is None:
-            return self.config.rob_size
-        return self.config.rob_size - (
+            return self._rob_size
+        return self._rob_size - (
             self.stats.instructions - blocking.index
         )
 
     def _oldest_blocking_load(self) -> OutstandingLoad | None:
+        t = self.t
         for load in self._outstanding:
             if load.is_store:
                 continue
-            if load.complete is None or load.complete > self.t:
+            complete = load.complete
+            if complete is None or complete > t:
                 return load
         return None
 
@@ -354,23 +366,27 @@ class IntervalCore:
             if producer.complete is None or producer.complete > self.t:
                 if not self._wait_for(producer):
                     return False
-        if self._mshr_used >= self.config.mshrs:
-            earliest = min(
-                (o for o in self._outstanding if o.complete is not None),
-                key=lambda o: o.complete,
-                default=None,
-            )
+        if self._mshr_used >= self._mshrs:
+            earliest = None
+            earliest_t = None
+            for o in self._outstanding:
+                complete = o.complete
+                if complete is not None and (
+                    earliest_t is None or complete < earliest_t
+                ):
+                    earliest = o
+                    earliest_t = complete
             if earliest is None:
                 self._block(None)
                 return False
             if not self._wait_for(earliest):
                 return False
             self._retire_completed()
-            if self._mshr_used >= self.config.mshrs:
+            if self._mshr_used >= self._mshrs:
                 # Completed-but-not-head entries keep MSHRs; drain harder.
                 self._drain_one_mshr()
 
-        line = self.hierarchy.line_of(item.address)
+        line = item.address >> self._line_shift
         result, pending = self._memory.cache_access(self, line, item.is_store)
         self.stats.memory_ops += 1
         if item.is_store:
@@ -380,7 +396,8 @@ class IntervalCore:
 
         if result.level == "l1":
             self.stats.l1_hits += 1
-            self._memory.issue_writebacks(self, result.writebacks, self.t)
+            if result.writebacks:
+                self._memory.issue_writebacks(self, result.writebacks, self.t)
             return True
 
         load = OutstandingLoad(
@@ -412,8 +429,10 @@ class IntervalCore:
         self._mshr_used += 1
         if not item.is_store:
             self._recent_loads.append(load)
-        self._memory.issue_writebacks(self, result.writebacks, self.t)
-        self._memory.issue_prefetches(self, result.prefetch_lines, self.t)
+        if result.writebacks:
+            self._memory.issue_writebacks(self, result.writebacks, self.t)
+        if result.prefetch_lines:
+            self._memory.issue_prefetches(self, result.prefetch_lines, self.t)
         return True
 
     def _drain_one_mshr(self) -> None:

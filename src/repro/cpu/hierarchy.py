@@ -42,7 +42,7 @@ class HierarchyConfig:
         return SharedCache(self.llc, slices=self.llc_slices)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one demand access through the hierarchy.
 
@@ -52,13 +52,15 @@ class AccessResult:
         latency: lookup latency in memory cycles (for ``"mem"``, the time
             spent discovering the miss before the request leaves).
         writebacks: dirty LLC victim line numbers to write to DRAM.
+            Read-only sequence; the empty default is a shared tuple so
+            the hot L1-hit path allocates nothing.
         prefetch_lines: LLC-missing line numbers the prefetcher wants.
     """
 
     level: str
     latency: int
-    writebacks: list[int] = field(default_factory=list)
-    prefetch_lines: list[int] = field(default_factory=list)
+    writebacks: list[int] | tuple = ()
+    prefetch_lines: list[int] | tuple = ()
 
 
 class CacheHierarchy:
@@ -77,6 +79,10 @@ class CacheHierarchy:
         self.llc = shared_llc
         self.prefetcher = StreamPrefetcher(config.prefetcher)
         self._line_bits = config.l1.line_bytes.bit_length() - 1
+        # Hoisted lookup latencies (config attribute chains are hot).
+        self._l1_latency = config.l1.latency
+        self._l2_lookup = config.l1.latency + config.l2.latency
+        self._llc_lookup = self._l2_lookup + config.llc.latency
 
     def line_of(self, address: int) -> int:
         """Cache-line number of a byte address."""
@@ -87,29 +93,27 @@ class CacheHierarchy:
         """One demand load/store of `line` (a line number, not a byte
         address). Updates all cache state immediately; the caller models
         timing."""
-        config = self.config
-        writebacks: list[int] = []
-
         if self.l1.lookup(line, is_write):
-            return AccessResult("l1", config.l1.latency)
+            return AccessResult("l1", self._l1_latency)
 
-        lookup_latency = config.l1.latency + config.l2.latency
+        writebacks: list[int] = []
         if self.l2.lookup(line):
             self._fill_l1(line, is_write, writebacks)
-            return AccessResult("l2", lookup_latency, writebacks)
+            return AccessResult("l2", self._l2_lookup, writebacks)
 
-        lookup_latency += config.llc.latency
         prefetches = self._prefetch(line, writebacks)
         if self.llc.lookup(line):
             self._fill_l2(line, writebacks)
             self._fill_l1(line, is_write, writebacks)
-            return AccessResult("llc", lookup_latency, writebacks, prefetches)
+            return AccessResult(
+                "llc", self._llc_lookup, writebacks, prefetches
+            )
 
         # DRAM access: fill every level now (timing handled by the core).
         self._fill_llc(line, dirty=False, writebacks=writebacks)
         self._fill_l2(line, writebacks)
         self._fill_l1(line, is_write, writebacks)
-        return AccessResult("mem", lookup_latency, writebacks, prefetches)
+        return AccessResult("mem", self._llc_lookup, writebacks, prefetches)
 
     # ------------------------------------------------------------------
     def _fill_l1(

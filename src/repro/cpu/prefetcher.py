@@ -38,15 +38,20 @@ class PrefetcherConfig:
 
 
 class _Stream:
-    """One tracked stream: last line, stride, confirmation state."""
+    """One tracked stream: last line, stride, confirmation state.
 
-    __slots__ = ("last_line", "stride", "confirmed", "next_prefetch")
+    ``radius`` caches the match window ``max(2 * |stride|, 8)`` so the
+    per-access stream scan avoids recomputing it.
+    """
+
+    __slots__ = ("last_line", "stride", "confirmed", "next_prefetch", "radius")
 
     def __init__(self, line: int) -> None:
         self.last_line = line
         self.stride = 0
         self.confirmed = False
         self.next_prefetch = line + 1
+        self.radius = 8
 
 
 class StreamPrefetcher:
@@ -77,6 +82,8 @@ class StreamPrefetcher:
             stream.confirmed = True
         else:
             stream.stride = delta
+            radius = delta + delta if delta > 0 else -(delta + delta)
+            stream.radius = radius if radius > 8 else 8
             stream.confirmed = False
             stream.next_prefetch = line + delta
         stream.last_line = line
@@ -106,9 +113,8 @@ class StreamPrefetcher:
         """Find the tracked stream this access plausibly belongs to."""
         best_key = None
         for key, stream in self._streams.items():
-            if abs(line - stream.last_line) <= max(
-                abs(stream.stride) * 2, 8
-            ):
+            delta = line - stream.last_line
+            if -stream.radius <= delta <= stream.radius:
                 best_key = key
                 break
         if best_key is None:

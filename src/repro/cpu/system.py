@@ -69,6 +69,7 @@ class CpuSystem:
             for i in range(self.config.cores)
         ]
         self._line_bytes = self.memory.spec.organization.line_bytes
+        self._noc_request = self.config.core.noc_request_cycles
         #: DRAM reads in flight, by line number. Demand accesses to these
         #: lines wait for the existing request instead of re-fetching.
         self._pending_lines: dict[int, Request] = {}
@@ -164,8 +165,9 @@ class CpuSystem:
             ))
 
     def _arrival(self, t: float) -> int:
-        arrival = int(t) + self.config.core.noc_request_cycles
-        return max(arrival, self.memory.now)
+        arrival = int(t) + self._noc_request
+        now = self.memory.now
+        return arrival if arrival > now else now
 
     # ------------------------------------------------------------------
     # Main loop
@@ -231,20 +233,35 @@ class CpuSystem:
     def _run_loop(self) -> "SimulationResult":
         guard = self._guard
         max_cycles = self._max_cycles
+        cores = self.cores
+        quantum = self.config.quantum
+        memory = self.memory
         while True:
             if guard is not None:
                 guard.tick(self)
             if max_cycles is not None and self._min_core_time() > max_cycles:
                 break
-            runnable = [c for c in self.cores if c.state == RUNNING]
-            if runnable:
-                self._step_runnable(runnable)
+            # Earliest runnable core (first wins ties, like min()).
+            core = None
+            for c in cores:
+                if c.state == RUNNING and (core is None or c.t < core.t):
+                    core = c
+            if core is not None:
+                self._deliver(memory.run_until(int(core.t)))
+                # A delivery may have woken a core with an earlier time.
+                core = None
+                for c in cores:
+                    if c.state == RUNNING and (
+                        core is None or c.t < core.t
+                    ):
+                        core = c
+                core.advance(quantum)
                 continue
-            blocked = [c for c in self.cores if c.state == BLOCKED]
+            blocked = [c for c in cores if c.state == BLOCKED]
             if blocked:
                 self._advance_memory_for(blocked)
                 continue
-            waiting = [c for c in self.cores if c.state == AT_BARRIER]
+            waiting = [c for c in cores if c.state == AT_BARRIER]
             if waiting:
                 self._release_barrier(waiting)
                 continue
@@ -255,14 +272,6 @@ class CpuSystem:
     def _min_core_time(self) -> float:
         active = [c.t for c in self.cores if c.state != FINISHED]
         return min(active) if active else max(c.t for c in self.cores)
-
-    def _step_runnable(self, runnable: list[IntervalCore]) -> None:
-        core = min(runnable, key=lambda c: c.t)
-        self._deliver(self.memory.run_until(int(core.t)))
-        # A delivery may have woken a core with an earlier local time.
-        candidates = [c for c in self.cores if c.state == RUNNING]
-        core = min(candidates, key=lambda c: c.t)
-        core.advance(self.config.quantum)
 
     def _advance_memory_for(self, blocked: list[IntervalCore]) -> None:
         if self.memory.pending_requests == 0:

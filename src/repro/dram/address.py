@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 _FIELDS = ("channel", "rank", "bank_group", "bank", "row", "column")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Coordinates:
     """Decoded DRAM coordinates of a physical address."""
 
@@ -101,6 +101,15 @@ class AddressMapping:
         self._slices = tuple(slices)
         self.address_bits = shift
         self.capacity_bytes = 1 << shift
+        # Flat (shift, mask) pairs in Coordinates field order — fields a
+        # scheme omits get (0, 0) and so decode to 0. Lets decode build
+        # the Coordinates positionally without a field dict (hot path).
+        by_name = {name: (s, m) for name, s, m in slices}
+        self._decode_bits = tuple(
+            v for name in _FIELDS for v in by_name.get(name, (0, 0))
+        )
+        self._banks_per_rank = organization.banks
+        self._banks_per_group = organization.banks_per_group
 
     # ------------------------------------------------------------------
     def decode(self, address: int) -> Coordinates:
@@ -110,10 +119,15 @@ class AddressMapping:
         ignored), matching real controllers' behaviour of only decoding
         the bits they own.
         """
-        fields = dict.fromkeys(_FIELDS, 0)
-        for name, shift, mask in self._slices:
-            fields[name] = (address >> shift) & mask
-        return Coordinates(**fields)
+        b = self._decode_bits
+        return Coordinates(
+            (address >> b[0]) & b[1],
+            (address >> b[2]) & b[3],
+            (address >> b[4]) & b[5],
+            (address >> b[6]) & b[7],
+            (address >> b[8]) & b[9],
+            (address >> b[10]) & b[11],
+        )
 
     def encode(self, coords: Coordinates, offset: int = 0) -> int:
         """Re-assemble a physical address from coordinates (inverse of decode)."""
@@ -124,10 +138,9 @@ class AddressMapping:
 
     def flat_bank_index(self, coords: Coordinates) -> int:
         """Flatten (rank, bank_group, bank) into one channel-wide index."""
-        org = self.organization
         return (
-            coords.rank * org.banks
-            + coords.bank_group * org.banks_per_group
+            coords.rank * self._banks_per_rank
+            + coords.bank_group * self._banks_per_group
             + coords.bank
         )
 

@@ -14,7 +14,7 @@ from repro.dram.timing import TimingSpec
 from repro.errors import ProtocolError
 
 
-@dataclass
+@dataclass(slots=True)
 class BankStats:
     """Counters for one bank, exposed in controller statistics."""
 
@@ -35,6 +35,14 @@ class Bank:
     log into one shared event timeline.
     """
 
+    __slots__ = (
+        "_spec", "bank_group", "bank", "flat_index", "open_row", "stats",
+        "next_act", "next_pre", "next_cas", "pre_until", "act_until",
+        "cas_data_until", "_pre_windows", "_act_windows",
+        "_tRP", "_tRCD", "_tRAS", "_tRC", "_tWR", "_tRTP",
+        "_write_data", "_read_data",
+    )
+
     def __init__(
         self,
         spec: TimingSpec,
@@ -50,6 +58,18 @@ class Bank:
         self.flat_index = flat_index
         self.open_row: int | None = None
         self.stats = BankStats()
+
+        # Timing constants hoisted off the spec: attribute (and derived-
+        # property) lookups are measurable on the innermost loop.
+        self._tRP = spec.tRP
+        self._tRCD = spec.tRCD
+        self._tRAS = spec.tRAS
+        self._tRC = spec.tRC
+        self._tWR = spec.tWR
+        self._tRTP = spec.tRTP
+        burst = spec.burst_cycles
+        self._write_data = spec.tCWL + burst  # CAS issue to write-data end
+        self._read_data = spec.tCL + burst  # CAS issue to read-data end
 
         # Earliest cycle each command class may issue on this bank.
         self.next_act = 0
@@ -94,13 +114,14 @@ class Bank:
             raise ProtocolError(
                 f"PRECHARGE to already-precharged bank {self.bank_group}/{self.bank}"
             )
-        spec = self._spec
         self.open_row = None
-        self.pre_until = t + spec.tRP
-        self.next_act = max(self.next_act, t + spec.tRP)
+        done = t + self._tRP
+        self.pre_until = done
+        if done > self.next_act:
+            self.next_act = done
         self.stats.precharges += 1
         if record:
-            self._pre_windows.append((t, t + spec.tRP, self.flat_index))
+            self._pre_windows.append((t, done, self.flat_index))
 
     def do_activate(self, t: int, row: int) -> None:
         """Issue ACTIVATE at cycle t: open `row` into the page buffer."""
@@ -108,14 +129,15 @@ class Bank:
             raise ProtocolError(
                 f"ACTIVATE to open bank {self.bank_group}/{self.bank}"
             )
-        spec = self._spec
         self.open_row = row
-        self.act_until = t + spec.tRCD
-        self.next_cas = max(self.next_cas, t + spec.tRCD)
-        self.next_pre = max(self.next_pre, t + spec.tRAS)
-        self.next_act = max(self.next_act, t + spec.tRC)
+        ready = t + self._tRCD
+        self.act_until = ready
+        if ready > self.next_cas:
+            self.next_cas = ready
+        self.next_pre = max(self.next_pre, t + self._tRAS)
+        self.next_act = max(self.next_act, t + self._tRC)
         self.stats.activates += 1
-        self._act_windows.append((t, t + spec.tRCD, self.flat_index))
+        self._act_windows.append((t, ready, self.flat_index))
 
     def do_cas(self, t: int, is_write: bool, row_hit: bool) -> None:
         """Issue READ or WRITE at cycle t to the open row."""
@@ -123,14 +145,13 @@ class Bank:
             raise ProtocolError(
                 f"CAS to closed bank {self.bank_group}/{self.bank}"
             )
-        spec = self._spec
         if is_write:
-            data_end = t + spec.tCWL + spec.burst_cycles
-            self.next_pre = max(self.next_pre, data_end + spec.tWR)
+            data_end = t + self._write_data
+            self.next_pre = max(self.next_pre, data_end + self._tWR)
             self.stats.writes += 1
         else:
-            data_end = t + spec.tCL + spec.burst_cycles
-            self.next_pre = max(self.next_pre, t + spec.tRTP)
+            data_end = t + self._read_data
+            self.next_pre = max(self.next_pre, t + self._tRTP)
             self.stats.reads += 1
         self.cas_data_until = max(self.cas_data_until, data_end)
         if row_hit:

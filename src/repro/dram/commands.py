@@ -72,7 +72,7 @@ def restore_request_id_state(next_id: int) -> None:
     _request_ids.next_id = max(_request_ids.next_id, next_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """A cache-line-sized memory request as seen by the controller.
 

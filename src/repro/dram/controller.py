@@ -29,8 +29,21 @@ from repro.errors import ConfigurationError
 
 PAGE_POLICIES = ("open", "closed")
 
+#: Scheduling engines. ``"fast"`` memoizes the scheduling decision
+#: between state changes (see :meth:`MemoryController._compute_plan`);
+#: ``"reference"`` re-derives it from scratch every step. Both produce
+#: bit-identical event logs — the golden/differential tests in
+#: ``tests/golden`` hold them to that.
+ENGINES = ("fast", "reference")
+
 #: Sentinel "infinitely far in the future" time.
 FAR_FUTURE = 1 << 62
+
+# Enum-member lookups hoisted out of the fused candidate scan.
+_CAS_READ = CommandType.READ
+_CAS_WRITE = CommandType.WRITE
+_ACT = CommandType.ACTIVATE
+_PRE = CommandType.PRECHARGE
 
 #: Scheduling steps between forward-progress watchdog observations. The
 #: stall threshold is hundreds of thousands of cycles, so a ~32-step
@@ -60,6 +73,10 @@ class ControllerConfig:
         refresh_enabled: set False to disable refresh (ablation).
         starvation_cap: FR-FCFS reordering bound — a request older than
             this many cycles beats younger row hits to its bank.
+        engine: ``"fast"`` (default) caches the scheduling decision
+            between state changes; ``"reference"`` recomputes it every
+            step. Results are bit-identical; the reference engine exists
+            as the oracle for the golden/differential test layer.
     """
 
     spec: TimingSpec = DDR4_2400
@@ -72,8 +89,13 @@ class ControllerConfig:
     forward_latency: int = 4
     keep_command_trace: bool = False
     refresh_enabled: bool = True
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
         if self.page_policy not in PAGE_POLICIES:
             raise ConfigurationError(
                 f"unknown page policy {self.page_policy!r}; "
@@ -203,6 +225,58 @@ class MemoryController:
             self.spec.tREFI if self.config.refresh_enabled else FAR_FUTURE
         )
         self._refresh_until = 0
+
+        # Scheduling-decision cache (fast engine). `_sched_epoch` counts
+        # the state changes that can alter the decision — queue
+        # admissions, command issues, refreshes. The cached plan stays
+        # valid while the epoch is unchanged and `now` is below
+        # `_plan_valid_until`, the earliest cycle an FR-FCFS starvation
+        # flip could displace a row-hit choice (docs/performance.md has
+        # the full invalidation argument).
+        self._fast_engine = self.config.engine == "fast"
+        self._fcfs = self.config.scheduling == "fcfs"
+        self._closed_page = self.config.page_policy == "closed"
+        # Constants for the fused candidate scan.
+        self._tCCD_L = self.spec.tCCD_L
+        self._tWTR_L = self.spec.tWTR_L
+        self._tRRD_L = self.spec.tRRD_L
+        cap = self.config.starvation_cap
+        self._cap = cap if cap is not None else FAR_FUTURE
+        self._tRP = self.spec.tRP
+        self._tRCD = self.spec.tRCD
+        self._trace_commands = self.config.keep_command_trace
+        self._forward_latency = self.config.forward_latency
+        # The log's lists, shared by reference (EventLog never reassigns
+        # them), so the issue path skips the attribute chains.
+        self._log_bursts = self.log.bursts
+        self._log_cas_windows = self.log.cas_windows
+        self._log_blocked = self.log.blocked
+        self._sched_epoch = 0
+        self._plan: tuple | None = None
+        self._plan_epoch = -1  # -1: cache invalid
+        self._plan_valid_until = 0
+        self._plan_write_mode = False
+        self._plan_block: Block | None = None
+        # Per-bank candidate-selection cache (fast FR-FCFS scan), one
+        # list per queue. Entry: (entry, kcode, flip, bank_time, coords,
+        # bank_group, req_id) where kcode is 0/1/2 for CAS/ACT/PRE and
+        # `flip` the starvation-flip cycle (FAR_FUTURE when stable). A
+        # slot is invalidated on admission to the bank, any command
+        # issued on the bank, and refresh — the only events that change
+        # a bank's selection or its bank-local timing gate.
+        total_banks = len(self._banks)
+        self._cand_read: list[tuple | None] = [None] * total_banks
+        self._cand_write: list[tuple | None] = [None] * total_banks
+        # Timing epoch: bumped only by events that change command timing
+        # or remove candidates (issue, refresh) — NOT by admissions.
+        # While it is unchanged, every already-planned candidate's
+        # effective issue time is provably unchanged, so a plan can be
+        # repaired incrementally from the banks admitted to since the
+        # last plan (`_dirty_read`/`_dirty_write`) instead of rescanned.
+        self._timing_epoch = 0
+        self._plan_timing_epoch = -1
+        self._dirty_read: list[int] = []
+        self._dirty_write: list[int] = []
 
     # ------------------------------------------------------------------
     # Public API
@@ -378,23 +452,36 @@ class MemoryController:
     def _finish_request(self, req: Request) -> None:
         self._completions.append(req)
         self.completed_requests.append(req)
-        if req.is_read:
+        if req.req_type is RequestType.READ:
             self.stats.reads_completed += 1
         else:
             self.stats.writes_completed += 1
 
     def _admit_arrivals(self) -> None:
         """Move requests whose arrival time has come into the queues."""
-        while self._arrivals and self._arrivals[0][0] <= self.now:
-            __, __, req = heapq.heappop(self._arrivals)
-            coords = self.mapping.decode(req.address)
-            flat = self.mapping.flat_bank_index(coords)
-            if req.is_read:
-                if self.config.read_forwarding and self._write_buffer.holds_address(
-                    self.mapping.line_address(req.address)
+        admitted = False
+        arrivals = self._arrivals
+        now = self.now
+        mapping = self.mapping
+        decode = mapping.decode
+        flat_index = mapping.flat_bank_index
+        heappop = heapq.heappop
+        # Forwarding probe short-circuits on the buffered-address dict so
+        # the empty-buffer case skips the line-align arithmetic.
+        wb_addresses = self._write_buffer._addresses if (
+            self.config.read_forwarding
+        ) else None
+        while arrivals and arrivals[0][0] <= now:
+            admitted = True
+            __, __, req = heappop(arrivals)
+            coords = decode(req.address)
+            flat = flat_index(coords)
+            if req.req_type is RequestType.READ:
+                if wb_addresses and (
+                    mapping.line_address(req.address) in wb_addresses
                 ):
                     req.forwarded = True
-                    req.finish = req.arrival + self.config.forward_latency
+                    req.finish = req.arrival + self._forward_latency
                     req.cas_issue = req.arrival
                     req.data_start = req.finish
                     self._write_buffer.note_forwarded_read()
@@ -406,16 +493,23 @@ class MemoryController:
                 bank = self._banks[flat]
                 req.row_open_on_arrival = bank.open_row == coords.row
                 self._read_queue.add(req, coords, flat)
+                self._cand_read[flat] = None
+                self._dirty_read.append(flat)
             else:
                 self._write_buffer.add(req, coords, flat)
+                self._cand_write[flat] = None
+                self._dirty_write.append(flat)
+        if admitted:
+            self._sched_epoch += 1
 
     def _run(self, t_limit: int, stop_on_read: bool) -> None:
+        stats = self.stats
         while self.now < t_limit:
-            if stop_on_read and self.pending_reads == 0:
+            if stop_on_read and stats.reads_completed == stats.reads_enqueued:
                 break
-            before = self.stats.reads_completed
-            advanced = self._run_one_step(t_limit)
-            if stop_on_read and self.stats.reads_completed > before:
+            before = stats.reads_completed
+            advanced = self._run_one_step(t_limit, stop_on_read)
+            if stop_on_read and stats.reads_completed > before:
                 break
             if not advanced:
                 break
@@ -428,18 +522,30 @@ class MemoryController:
 
     def _advance_to(self, t: int, t_limit: int) -> bool:
         """Jump time forward, delivering completions on the way."""
-        target = min(t, t_limit)
+        target = t if t < t_limit else t_limit
         if target <= self.now:
             return False
-        self._collect_finished(target)
+        in_flight = self._in_flight
+        if in_flight and in_flight[0][0] <= target:
+            self._collect_finished(target)
         self.now = target
         return True
 
-    def _run_one_step(self, t_limit: int) -> bool:
+    def _run_one_step(self, t_limit: int, stop_on_read: bool = False) -> bool:
         """Issue one command or advance time once. Returns False when
-        nothing can happen before `t_limit` (caller should stop)."""
-        self._admit_arrivals()
-        self._collect_finished(self.now)
+        nothing can happen before `t_limit` (caller should stop).
+
+        `stop_on_read` tells the step that its caller breaks out of the
+        stepping loop as soon as a read completes; the fused wait-and-
+        issue shortcut must then not issue past a completion.
+        """
+        now = self.now
+        arrivals = self._arrivals
+        if arrivals and arrivals[0][0] <= now:
+            self._admit_arrivals()
+        in_flight = self._in_flight
+        if in_flight and in_flight[0][0] <= now:
+            self._collect_finished(now)
         if self.watchdog is not None:
             # Sampling is lossless: the watermark derives from the
             # monotonic last-command cycle, and queues only drain by
@@ -450,28 +556,417 @@ class MemoryController:
                 self.watchdog.observe(self)
 
         # 1. Refresh in progress: nothing can issue.
-        if self.now < self._refresh_until:
+        if now < self._refresh_until:
             return self._advance_to(self._refresh_until, t_limit)
 
         # 2. Refresh due: precharge all and refresh.
-        if self.now >= self._next_refresh_due:
+        if now >= self._next_refresh_due:
             self._do_refresh()
             return True
 
-        # 3. Scheduling candidates.
-        reads_pending = bool(self._read_queue)
-        write_mode = self._write_buffer.update_drain_mode(
-            self.now, reads_pending
-        )
-        queue = self._write_buffer.queue if write_mode else self._read_queue
+        # 3. Scheduling decision: cached while no admission/issue/refresh
+        # happened and `now` is below the starvation-flip horizon. The
+        # `_plan_entry` instance-dict check keeps fault injections that
+        # monkeypatch the planner (reliability drills) on the recompute
+        # path even if they were installed after a plan was cached.
+        if (
+            self._plan_epoch == self._sched_epoch
+            and now < self._plan_valid_until
+            and "_plan_entry" not in self.__dict__
+        ):
+            best = self._plan
+            write_mode = self._plan_write_mode
+        else:
+            best, write_mode = self._compute_plan()
+
+        next_arrival = arrivals[0][0] if arrivals else FAR_FUTURE
+        if best is None:
+            # Nothing schedulable. Either data is in flight (pipeline
+            # draining — a channel-scope constraint) or truly idle.
+            wake = min(next_arrival, self._next_refresh_due)
+            if in_flight:
+                wake = min(wake, in_flight[0][0])
+                end = min(wake, t_limit)
+                if end > now:
+                    # Blocked windows are disjoint and appended in time
+                    # order, so a window starting where the previous one
+                    # ended with the same payload extends it in place.
+                    lb = self._log_blocked
+                    last = lb[-1] if lb else None
+                    if (
+                        last is not None
+                        and last[1] == now
+                        and last[2] is BlockScope.CHANNEL
+                        and last[4] == "data_inflight"
+                    ):
+                        lb[-1] = (
+                            last[0], end, BlockScope.CHANNEL, -1,
+                            "data_inflight",
+                        )
+                    else:
+                        lb.append(
+                            (now, end, BlockScope.CHANNEL, -1, "data_inflight")
+                        )
+            return self._advance_to(wake, t_limit)
+
+        (key, entry, cmd_type, coords) = best
+        issue_at = key[0]
+        if issue_at > now:
+            # Blocked: record why, then advance (arrivals or refresh may
+            # preempt the wait). The binding constraint is stable for the
+            # lifetime of the plan (all constraint times are absolute),
+            # so it is derived once and reused across re-entries.
+            wake = issue_at
+            if next_arrival < wake:
+                wake = next_arrival
+            refresh_due = self._next_refresh_due
+            if refresh_due < wake:
+                wake = refresh_due
+            end = wake if wake < t_limit else t_limit
+            if end > now:
+                block = self._plan_block
+                if block is None:
+                    block = self._block_info(entry, cmd_type, coords, issue_at)
+                    self._plan_block = block
+                bg = coords.bank_group if coords is not None else -1
+                # Extend the previous window in place when contiguous
+                # with an identical payload (windows are disjoint and
+                # time-ordered, so this changes no attribution).
+                lb = self._log_blocked
+                last = lb[-1] if lb else None
+                if (
+                    last is not None
+                    and last[1] == now
+                    and last[2] is block.scope
+                    and last[3] == bg
+                    and last[4] == block.reason
+                ):
+                    lb[-1] = (last[0], end, block.scope, bg, block.reason)
+                else:
+                    lb.append((now, end, block.scope, bg, block.reason))
+            # Fused wait-and-issue: when the planned command itself is the
+            # wake event (no arrival or refresh preempts it — strictly,
+            # since a tie would admit/refresh first on re-entry), its
+            # issue cycle is inside this run's limit, and the cached plan
+            # would pass the next step's validity check unchanged (same
+            # epoch, below the starvation horizon), the step re-entry is a
+            # no-op re-derivation — skip it and issue here. Under
+            # stop_on_read the caller must see completions before the
+            # next issue, so the shortcut requires no in-flight data
+            # finishing by the issue cycle.
+            if (
+                next_arrival > issue_at
+                and refresh_due > issue_at
+                and issue_at < t_limit
+                and issue_at < self._plan_valid_until
+                and self._plan_epoch == self._sched_epoch
+                and not (
+                    stop_on_read
+                    and self._in_flight
+                    and self._in_flight[0][0] <= issue_at
+                )
+            ):
+                self._advance_to(issue_at, t_limit)
+                self._issue(entry, cmd_type, coords, write_mode)
+                return True
+            return self._advance_to(wake, t_limit)
+
+        self._issue(entry, cmd_type, coords, write_mode)
+        return True
+
+    def _compute_plan(self) -> tuple[tuple | None, bool]:
+        """Derive the scheduling decision and refresh the plan cache.
+
+        Returns ``(best, write_mode)`` where `best` is the winning
+        ``(key, entry, cmd_type, coords)`` candidate or None when nothing
+        is schedulable. The fast engine fuses candidate selection and
+        timing into one scan and records a validity horizon; the
+        reference engine (and any instance with a patched ``_plan_entry``)
+        re-plans every step through the original per-entry path.
+        """
+        now = self.now
+        wbuf = self._write_buffer
+        if not wbuf.draining and not wbuf.queue:
+            # Empty, idle write buffer: update_drain_mode would be a
+            # no-op returning False (occupancy 0 is below every
+            # watermark), so skip the call on this hot path.
+            write_mode = False
+        else:
+            write_mode = wbuf.update_drain_mode(now, bool(self._read_queue))
+        queue = wbuf.queue if write_mode else self._read_queue
+        if not self._fast_engine or "_plan_entry" in self.__dict__:
+            best = self._reference_plan(queue, write_mode)
+            self._plan = best
+            self._plan_epoch = -1  # never reused: re-plan next step
+            self._plan_write_mode = write_mode
+            self._plan_block = None
+            self._dirty_read.clear()
+            self._dirty_write.clear()
+            return best, write_mode
+
+        banks = self._banks
+        ranks = self._ranks
+        min_cmd_time = self._last_cmd_issue + 1
+        horizon = FAR_FUTURE
+
+        if self._fcfs:
+            entry = queue.oldest()
+            best = (
+                self._plan_entry(entry, write_mode)
+                if entry is not None
+                else None
+            )
+            if self._closed_page:
+                open_rows = [b.open_row for b in banks]
+                for cand in self._plan_policy_precharges(open_rows):
+                    if best is None or cand[0] < best[0]:
+                        best = cand
+            self._plan = best
+            self._plan_epoch = self._sched_epoch
+            self._plan_timing_epoch = self._timing_epoch
+            self._plan_valid_until = horizon
+            self._plan_write_mode = write_mode
+            self._plan_block = None
+            self._dirty_read.clear()
+            self._dirty_write.clear()
+            return best, write_mode
+
+        # Fused FR-FCFS scan: candidate selection (per-bank queue heads
+        # with the row-hit index) and timing evaluation in one pass over
+        # the banks with pending work. Keys and tie-breaks are exactly
+        # _plan_entry's (time, priority, req_id); the rank-wide timing
+        # terms are hoisted out of the loop via *_scan_state since they
+        # are identical for every candidate of a rank. The starvation
+        # horizon mirrors RequestQueue.select_candidates.
+        cap = self._cap
+        tCCD_L = self._tCCD_L
+        tWTR_L = self._tWTR_L
+        tRRD_L = self._tRRD_L
+        cas_kind = _CAS_WRITE if write_mode else _CAS_READ
+        cas_states: list = [None] * len(ranks)
+        act_states: list = [None] * len(ranks)
+        bank_fifo = queue._bank_fifo
+        by_row = queue._by_row
+        best_time = best_prio = best_tie = None
+        best_entry = best_kind = best_coords = None
+        cache = self._cand_write if write_mode else self._cand_read
+        scan_banks = queue._active_banks
+        incremental = False
+        changed = False
+        # Incremental repair: when nothing changed command timing since
+        # the cached plan (same timing epoch — only admissions bumped
+        # the scheduling epoch), every previously planned candidate's
+        # effective issue time is unchanged (its clamp floor `now` is
+        # still below the blocked plan's issue time, and rank/bank gates
+        # only move on issue/refresh). New arrivals can therefore only
+        # displace the winner directly: seed the scan with the cached
+        # best and visit just the admitted banks. Policy precharges are
+        # skipped — admissions only ever *remove* them, and surviving
+        # ones keep losing on (time, priority). If the winner's own bank
+        # was admitted to, its selection may have changed, so fall back
+        # to a full scan.
+        if (
+            self._plan_timing_epoch == self._timing_epoch
+            and self._plan_epoch >= 0
+            and self._plan_write_mode == write_mode
+            and now < self._plan_valid_until
+        ):
+            dirty = self._dirty_write if write_mode else self._dirty_read
+            old_best = self._plan
+            if old_best is None:
+                incremental = True
+            else:
+                old_entry = old_best[1]
+                if old_entry is None:
+                    # Policy precharge: admissions to *either* queue can
+                    # remove it (its bank's open row must stay free of
+                    # pending requests in both), so check both lists.
+                    old_flat = old_best[3].flat
+                    if (
+                        old_flat not in self._dirty_read
+                        and old_flat not in self._dirty_write
+                    ):
+                        incremental = True
+                elif old_entry.flat_bank not in dirty:
+                    incremental = True
+            if incremental:
+                if old_best is not None:
+                    best_time, best_prio, best_tie = old_best[0]
+                    best_entry = old_best[1]
+                    best_kind = old_best[2]
+                    best_coords = old_best[3]
+                horizon = self._plan_valid_until
+                scan_banks = set(dirty)
+        for flat in scan_banks:
+            cached = cache[flat]
+            if (
+                cached is not None
+                and now < cached[2]
+                and not cached[0].served
+            ):
+                entry, kcode, flip, bank_time, coords, bg, tie = cached
+                if flip < horizon:
+                    horizon = flip
+            else:
+                fifo = bank_fifo[flat]
+                oldest = None
+                while fifo:
+                    head = fifo[0]
+                    if head.served:
+                        fifo.popleft()
+                    else:
+                        oldest = head
+                        break
+                if oldest is None:
+                    continue
+                bank = banks[flat]
+                row = bank.open_row
+                entry = None
+                flip = FAR_FUTURE
+                if row is not None and now - oldest.request.arrival <= cap:
+                    rows = by_row[flat]
+                    rfifo = rows.get(row)
+                    if rfifo is not None:
+                        while rfifo:
+                            head = rfifo[0]
+                            if head.served:
+                                rfifo.popleft()
+                            else:
+                                entry = head
+                                break
+                        if entry is None:
+                            del rows[row]
+                    if entry is not None and entry is not oldest:
+                        flip = oldest.request.arrival + cap + 1
+                        if flip < horizon:
+                            horizon = flip
+                if entry is None:
+                    entry = oldest
+                coords = entry.coords
+                bg = coords.bank_group
+                if row == coords.row:
+                    kcode = 0
+                    bank_time = bank.next_cas
+                elif row is None:
+                    kcode = 1
+                    bank_time = bank.next_act
+                else:
+                    kcode = 2
+                    bank_time = bank.next_pre
+                tie = entry.request.req_id
+                cache[flat] = (
+                    entry, kcode, flip, bank_time, coords, bg, tie
+                )
+            if kcode == 0:
+                rk = coords.rank
+                state = cas_states[rk]
+                if state is None:
+                    state = cas_states[rk] = ranks[rk].cas_scan_state(
+                        write_mode
+                    )
+                time, cas_groups, wdata_groups = state
+                gate = cas_groups[bg] + tCCD_L
+                if gate > time:
+                    time = gate
+                if wdata_groups is not None:
+                    gate = wdata_groups[bg] + tWTR_L
+                    if gate > time:
+                        time = gate
+                if bank_time > time:
+                    time = bank_time
+                kind = cas_kind
+                priority = 0
+            elif kcode == 1:
+                rk = coords.rank
+                state = act_states[rk]
+                if state is None:
+                    state = act_states[rk] = ranks[rk].act_scan_state()
+                time, act_groups = state
+                gate = act_groups[bg] + tRRD_L
+                if gate > time:
+                    time = gate
+                if bank_time > time:
+                    time = bank_time
+                kind = _ACT
+                priority = 1
+            else:
+                time = bank_time
+                kind = _PRE
+                priority = 2
+            if time < now:
+                time = now
+            if time < min_cmd_time:
+                time = min_cmd_time
+            if (
+                best_time is None
+                or time < best_time
+                or (
+                    time == best_time
+                    and (
+                        priority < best_prio
+                        or (priority == best_prio and tie < best_tie)
+                    )
+                )
+            ):
+                best_time = time
+                best_prio = priority
+                best_tie = tie
+                best_entry = entry
+                best_kind = kind
+                best_coords = coords
+                changed = True
+        if self._closed_page and not incremental:
+            open_rows = [b.open_row for b in banks]
+            for cand in self._plan_policy_precharges(open_rows):
+                time, priority, tie = cand[0]
+                if (
+                    best_time is None
+                    or time < best_time
+                    or (
+                        time == best_time
+                        and (
+                            priority < best_prio
+                            or (priority == best_prio and tie < best_tie)
+                        )
+                    )
+                ):
+                    best_time = time
+                    best_prio = priority
+                    best_tie = tie
+                    __, best_entry, best_kind, best_coords = cand
+
+        if incremental and not changed:
+            # Winner survived: keep the cached plan object (and its
+            # lazily derived block info, which only depends on the
+            # winner and the unchanged timing state).
+            best = self._plan
+        else:
+            best = (
+                None
+                if best_time is None
+                else (
+                    (best_time, best_prio, best_tie),
+                    best_entry, best_kind, best_coords,
+                )
+            )
+            self._plan = best
+            self._plan_block = None
+        self._plan_epoch = self._sched_epoch
+        self._plan_timing_epoch = self._timing_epoch
+        self._plan_valid_until = horizon
+        self._plan_write_mode = write_mode
+        self._dirty_read.clear()
+        self._dirty_write.clear()
+        return best, write_mode
+
+    def _reference_plan(self, queue, write_mode: bool) -> tuple | None:
+        """Plan one step the unmemoized way (the differential oracle)."""
         open_rows = [b.open_row for b in self._banks]
-        entries = queue.candidates(
+        best: tuple | None = None
+        for entry in queue.candidates(
             open_rows, self.config.scheduling, self.now,
             self.config.starvation_cap,
-        )
-
-        best: tuple | None = None
-        for entry in entries:
+        ):
             cand = self._plan_entry(entry, write_mode)
             if best is None or cand[0] < best[0]:
                 best = cand
@@ -479,39 +974,7 @@ class MemoryController:
             for cand in self._plan_policy_precharges(open_rows):
                 if best is None or cand[0] < best[0]:
                     best = cand
-
-        next_arrival = self._next_arrival_after(self.now)
-        if best is None:
-            # Nothing schedulable. Either data is in flight (pipeline
-            # draining — a channel-scope constraint) or truly idle.
-            wake = min(next_arrival, self._next_refresh_due)
-            if self._in_flight:
-                wake = min(wake, self._in_flight[0][0])
-                end = min(wake, t_limit)
-                if end > self.now:
-                    self.log.blocked.append(
-                        (self.now, end, BlockScope.CHANNEL, -1, "data_inflight")
-                    )
-            return self._advance_to(wake, t_limit)
-
-        (key, entry, cmd_type, coords) = best
-        issue_at = key[0]
-        if issue_at > self.now:
-            # Blocked: record why, then advance (arrivals or refresh may
-            # preempt the wait).
-            end = min(issue_at, next_arrival, self._next_refresh_due, t_limit)
-            if end > self.now:
-                block = self._block_info(entry, cmd_type, coords, issue_at)
-                bg = coords.bank_group if coords is not None else -1
-                self.log.blocked.append(
-                    (self.now, end, block.scope, bg, block.reason)
-                )
-            return self._advance_to(
-                min(issue_at, next_arrival, self._next_refresh_due), t_limit
-            )
-
-        self._issue(entry, cmd_type, coords, write_mode)
-        return True
+        return best
 
     # ------------------------------------------------------------------
     def _plan_entry(self, entry: QueuedRequest, write_mode: bool) -> tuple:
@@ -605,33 +1068,40 @@ class MemoryController:
         """Issue `cmd_type` at the current cycle."""
         t = self.now
         self._last_cmd_issue = t
+        self._sched_epoch += 1
+        self._timing_epoch += 1
+        flat = coords.flat if entry is None else entry.flat_bank
+        self._cand_read[flat] = None
+        self._cand_write[flat] = None
         if entry is None:
             # Policy precharge: nothing is waiting for this bank.
             bank = coords.bank
             bank.do_precharge(t, record=False)
             self.stats.precharges += 1
-            self._record_command(
-                cmd_type, t, coords.bank_group, bank, rank=coords.rank
-            )
+            if self._trace_commands:
+                self._record_command(
+                    cmd_type, t, coords.bank_group, bank, rank=coords.rank
+                )
             return
 
         bank = self._banks[entry.flat_bank]
         req = entry.request
-        if cmd_type is CommandType.PRECHARGE:
+        stats = self.stats
+        if cmd_type is _PRE:
             bank.do_precharge(t)
-            self.stats.precharges += 1
+            stats.precharges += 1
             if req.own_pre_start < 0:
                 req.own_pre_start = t
-                req.own_pre_end = t + self.spec.tRP
-        elif cmd_type is CommandType.ACTIVATE:
+                req.own_pre_end = t + self._tRP
+        elif cmd_type is _ACT:
             bank.do_activate(t, coords.row)
             self._ranks[coords.rank].record_act(t, coords.bank_group)
-            self.stats.activates += 1
+            stats.activates += 1
             if req.own_act_start < 0:
                 req.own_act_start = t
-                req.own_act_end = t + self.spec.tRCD
+                req.own_act_end = t + self._tRCD
         else:  # READ / WRITE
-            is_write = cmd_type is CommandType.WRITE
+            is_write = cmd_type is _CAS_WRITE
             # A CAS is always a row-buffer hit at issue time; the
             # hit/miss statistic refers to whether the request found the
             # row open (and so needed no pre/act of its own).
@@ -642,26 +1112,27 @@ class MemoryController:
             )
             bank.do_cas(t, is_write, effective_hit)
             if effective_hit:
-                self.stats.row_hits += 1
+                stats.row_hits += 1
             else:
-                self.stats.row_misses += 1
+                stats.row_misses += 1
             req.cas_issue = t
             req.data_start = data_start
             req.finish = data_end
             req.row_hit = effective_hit
-            self.log.bursts.append(
+            self._log_bursts.append(
                 (data_start, data_end, is_write, req.core_id)
             )
-            self.log.cas_windows.append((t, data_end, entry.flat_bank))
+            self._log_cas_windows.append((t, data_end, entry.flat_bank))
             if write_mode:
                 self._write_buffer.complete(entry)
             else:
                 self._read_queue.mark_served(entry)
             heapq.heappush(self._in_flight, (data_end, req.req_id, req))
-        self._record_command(
-            cmd_type, t, coords.bank_group,
-            bank, row=coords.row, req_id=req.req_id, rank=coords.rank,
-        )
+        if self._trace_commands:
+            self._record_command(
+                cmd_type, t, coords.bank_group,
+                bank, row=coords.row, req_id=req.req_id, rank=coords.rank,
+            )
 
     def _record_command(
         self, cmd_type: CommandType, t: int, bank_group: int, bank: Bank,
@@ -682,6 +1153,11 @@ class MemoryController:
     def _do_refresh(self) -> None:
         """Precharge all banks and hold the rank in refresh for tRFC."""
         spec = self.spec
+        self._sched_epoch += 1
+        self._timing_epoch += 1
+        total_banks = len(self._banks)
+        self._cand_read = [None] * total_banks
+        self._cand_write = [None] * total_banks
         t_ready = self.now
         any_open = False
         for bank in self._banks:

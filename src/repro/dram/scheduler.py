@@ -24,8 +24,13 @@ from repro.errors import ConfigurationError
 
 SCHEDULING_POLICIES = ("fr-fcfs", "fcfs")
 
+#: "No starvation cap": larger than any realistic request age.
+_NO_CAP = 1 << 62
+#: "Selection never flips on its own": matches the controller's FAR_FUTURE.
+_FAR = 1 << 62
 
-@dataclass
+
+@dataclass(slots=True)
 class QueuedRequest:
     """A request with its decoded coordinates, as held in a queue."""
 
@@ -72,11 +77,16 @@ class RequestQueue:
         """Enqueue a request; returns the queue entry."""
         entry = QueuedRequest(request, coords, flat_bank)
         self._bank_fifo[flat_bank].append(entry)
-        self._by_row[flat_bank].setdefault(coords.row, deque()).append(entry)
+        rows = self._by_row[flat_bank]
+        rfifo = rows.get(coords.row)
+        if rfifo is None:
+            rows[coords.row] = rfifo = deque()
+        rfifo.append(entry)
         self._global_fifo.append(entry)
-        if self._bank_counts[flat_bank] == 0:
+        counts = self._bank_counts
+        if counts[flat_bank] == 0:
             self._active_banks.add(flat_bank)
-        self._bank_counts[flat_bank] += 1
+        counts[flat_bank] += 1
         self._size += 1
         return entry
 
@@ -163,20 +173,62 @@ class RequestQueue:
                 f"unknown scheduling policy {policy!r}; "
                 f"expected one of {SCHEDULING_POLICIES}"
             )
+        entries, __ = self.select_candidates(open_rows, now, starvation_cap)
+        return entries
+
+    def select_candidates(
+        self,
+        open_rows: list[int | None],
+        now: int,
+        starvation_cap: int | None,
+    ) -> tuple[list[QueuedRequest], int]:
+        """FR-FCFS candidates plus the selection's validity horizon.
+
+        Returns ``(entries, valid_until)``: the same per-bank candidates
+        :meth:`candidates` yields for ``fr-fcfs``, and the earliest
+        future cycle at which the selection could change *without* any
+        enqueue/serve/row-state change — i.e. the first cycle a bank's
+        oldest request crosses the starvation cap and displaces a
+        younger row hit. Callers may cache the selection until then.
+        Banks whose chosen candidate already is their oldest request
+        never flip, so they contribute no horizon.
+        """
+        if starvation_cap is None:
+            starvation_cap = _NO_CAP
         result = []
-        for flat_bank in self.banks_with_requests():
-            oldest = self.oldest_for_bank(flat_bank)
+        valid_until = _FAR
+        by_row = self._by_row
+        bank_fifo = self._bank_fifo
+        for flat_bank in self._active_banks:
+            fifo = bank_fifo[flat_bank]
+            oldest = None
+            while fifo:
+                head = fifo[0]
+                if head.served:
+                    fifo.popleft()
+                else:
+                    oldest = head
+                    break
+            if oldest is None:
+                continue
             entry = None
-            starved = (
-                starvation_cap is not None
-                and oldest is not None
-                and now - oldest.request.arrival > starvation_cap
-            )
             row = open_rows[flat_bank]
-            if row is not None and not starved:
-                entry = self.oldest_row_hit(flat_bank, row)
-            if entry is None:
-                entry = oldest
-            if entry is not None:
-                result.append(entry)
-        return result
+            if row is not None and now - oldest.request.arrival <= starvation_cap:
+                rows = by_row[flat_bank]
+                rfifo = rows.get(row)
+                if rfifo is not None:
+                    while rfifo:
+                        head = rfifo[0]
+                        if head.served:
+                            rfifo.popleft()
+                        else:
+                            entry = head
+                            break
+                    if entry is None:
+                        del rows[row]
+                if entry is not None and entry is not oldest:
+                    flip = oldest.request.arrival + starvation_cap + 1
+                    if flip < valid_until:
+                        valid_until = flip
+            result.append(entry if entry is not None else oldest)
+        return result, valid_until

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 
@@ -120,20 +121,23 @@ class TimingSpec:
             raise ConfigurationError("tREFI too small to ever refresh")
 
     # ------------------------------------------------------------------
-    # Derived quantities
+    # Derived quantities. The three on the simulator's inner loop are
+    # cached: a frozen dataclass still owns a __dict__, which is where
+    # cached_property stores the computed value (bypassing the frozen
+    # __setattr__), so the derivation runs once per spec instance.
     # ------------------------------------------------------------------
-    @property
+    @cached_property
     def burst_cycles(self) -> int:
         """Data-bus cycles one cache-line transfer occupies."""
         org = self.organization
         return org.line_bytes // (org.bus_bytes * org.data_rate)
 
-    @property
+    @cached_property
     def tRC(self) -> int:
         """Activate-to-activate minimum on one bank."""
         return self.tRAS + self.tRP
 
-    @property
+    @cached_property
     def read_to_write(self) -> int:
         """READ to WRITE command spacing on the same rank.
 

@@ -58,6 +58,10 @@ class WriteBuffer:
 
     def __init__(self, config: WriteQueueConfig, num_banks: int) -> None:
         self.config = config
+        # Watermark entry counts, hoisted off the config properties (the
+        # drain state machine runs once per scheduling decision).
+        self._high_entries = config.high_entries
+        self._low_entries = config.low_entries
         self.queue = RequestQueue(num_banks)
         self._addresses: dict[int, int] = {}
         self.draining = False
@@ -114,11 +118,11 @@ class WriteBuffer:
         """
         occupancy = len(self.queue)
         if self.draining:
-            if occupancy <= self.config.low_entries:
+            if occupancy <= self._low_entries:
                 self.draining = False
                 self.drain_windows.append((self._drain_start, now))
                 self._drain_start = -1
-        elif occupancy >= self.config.high_entries:
+        elif occupancy >= self._high_entries:
             self.draining = True
             self._drain_start = now
             self.stats_forced_drains += 1

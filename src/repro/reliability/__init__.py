@@ -13,7 +13,9 @@ This package keeps long simulations trustworthy and recoverable:
 * :mod:`~repro.reliability.guard` — one object bundling the three,
   ticked by the CPU-system main loop;
 * :mod:`~repro.reliability.faults` — deliberate fault injection used to
-  prove the guardrails catch what they claim to.
+  prove the guardrails catch what they claim to;
+* :mod:`~repro.reliability.fingerprint` — content digests of simulation
+  results, backing the golden-regression and determinism test layers.
 """
 
 from repro.reliability.auditor import AuditViolation, AuditWarning, InvariantAuditor
@@ -22,6 +24,12 @@ from repro.reliability.checkpoint import (
     latest_checkpoint,
     load_checkpoint,
     save_checkpoint,
+)
+from repro.reliability.fingerprint import (
+    diff_fingerprints,
+    event_log_digest,
+    fingerprint_digest,
+    result_fingerprint,
 )
 from repro.reliability.guard import ReliabilityGuard
 from repro.reliability.watchdog import ForwardProgressWatchdog, StallDiagnostic
@@ -34,7 +42,11 @@ __all__ = [
     "InvariantAuditor",
     "ReliabilityGuard",
     "StallDiagnostic",
+    "diff_fingerprints",
+    "event_log_digest",
+    "fingerprint_digest",
     "latest_checkpoint",
     "load_checkpoint",
+    "result_fingerprint",
     "save_checkpoint",
 ]

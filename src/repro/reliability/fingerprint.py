@@ -1,0 +1,145 @@
+"""Result fingerprinting for golden-regression and determinism tests.
+
+A *fingerprint* condenses everything the simulator measured — the full
+DRAM event log plus the derived bandwidth and latency stacks — into a
+small JSON-serializable dict with a content digest. Two runs produce
+the same fingerprint if and only if they recorded byte-identical event
+timelines and bit-identical stack components, which is exactly the
+contract the performance-engineered fast scheduling engine must uphold
+against the reference engine (see ``docs/performance.md``).
+
+Used by:
+
+* ``tests/golden`` — fixtures commit fingerprints of seeded mini-runs;
+  any change to scheduling, timing, or accounting that shifts a single
+  cycle shows up as a digest mismatch.
+* determinism tests — same seed must mean same fingerprint, across
+  repeated runs and across a checkpoint/resume boundary.
+* ``scripts/bench_smoke.py`` — records the fingerprint next to the
+  timing so a speedup that changes results is never reported as a win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: EventLog attributes folded into the digest, in a fixed order.
+_LOG_FIELDS = (
+    "bursts",
+    "pre_windows",
+    "act_windows",
+    "cas_windows",
+    "refresh_windows",
+    "drain_windows",
+    "blocked",
+)
+
+
+def event_log_digest(log) -> str:
+    """SHA-256 over the controller's recorded timelines.
+
+    Covers every list the stack accountants consume (bursts, per-bank
+    command windows, refresh/drain windows, blocked intervals). Entries
+    are hashed via ``repr``, which is exact for the int/str/enum tuples
+    the log holds — no float formatting is involved.
+    """
+    h = hashlib.sha256()
+    for name in _LOG_FIELDS:
+        h.update(name.encode())
+        h.update(repr(getattr(log, name)).encode())
+    return h.hexdigest()
+
+
+def result_fingerprint(result) -> dict:
+    """Full fingerprint of a :class:`~repro.cpu.system.SimulationResult`.
+
+    Returns a JSON-serializable dict::
+
+        {
+          "event_log": "<sha256 of the event timelines>",
+          "bandwidth": [["read", 10.26...], ...],   # GB/s components
+          "latency":   [["base", 52.5], ...],       # ns components
+          "counts": {"total_cycles": ..., "dram_reads": ...,
+                     "dram_writes": ..., "instructions": ...},
+          "digest": "<sha256 over all of the above>",
+        }
+
+    Stack values are kept at full float precision (``repr`` round-trip
+    via JSON), so comparing fingerprints is a bit-identity check on the
+    accounting, not an approximate one.
+    """
+    fp = {
+        "event_log": event_log_digest(result.memory.log),
+        "bandwidth": [
+            [name, value]
+            for name, value in result.bandwidth_stack().as_rows()
+        ],
+        "latency": [
+            [name, value]
+            for name, value in result.latency_stack().as_rows()
+        ],
+        "counts": {
+            "total_cycles": result.total_cycles,
+            "dram_reads": result.dram_reads,
+            "dram_writes": result.dram_writes,
+            "instructions": result.instructions,
+        },
+    }
+    fp["digest"] = fingerprint_digest(fp)
+    return fp
+
+
+def fingerprint_digest(fp: dict) -> str:
+    """Canonical content digest of a fingerprint dict.
+
+    The ``digest`` key itself is excluded, so the function is stable
+    whether it is handed a freshly built dict or one loaded from a
+    fixture file.
+    """
+    body = {k: v for k, v in fp.items() if k != "digest"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def diff_fingerprints(expected: dict, actual: dict) -> list[str]:
+    """Human-readable differences between two fingerprints.
+
+    Empty list means identical. Designed for golden-test failure
+    messages: points at the first diverging component instead of just
+    two opaque digests.
+    """
+    problems: list[str] = []
+    if expected.get("event_log") != actual.get("event_log"):
+        problems.append(
+            "event log timelines differ "
+            f"(expected {expected.get('event_log', '?')[:12]}, "
+            f"got {actual.get('event_log', '?')[:12]})"
+        )
+    for stack in ("bandwidth", "latency"):
+        exp_rows = expected.get(stack, [])
+        act_rows = actual.get(stack, [])
+        if exp_rows == act_rows:
+            continue
+        for exp, act in zip(exp_rows, act_rows):
+            if list(exp) != list(act):
+                problems.append(
+                    f"{stack} component {exp[0]!r}: "
+                    f"expected {exp[1]!r}, got {act[1]!r}"
+                )
+        if len(exp_rows) != len(act_rows):
+            problems.append(
+                f"{stack} stack has {len(act_rows)} components, "
+                f"expected {len(exp_rows)}"
+            )
+    exp_counts = expected.get("counts", {})
+    act_counts = actual.get("counts", {})
+    for key in sorted(set(exp_counts) | set(act_counts)):
+        if exp_counts.get(key) != act_counts.get(key):
+            problems.append(
+                f"counts[{key!r}]: expected {exp_counts.get(key)!r}, "
+                f"got {act_counts.get(key)!r}"
+            )
+    if not problems and expected.get("digest") != actual.get("digest"):
+        problems.append("fingerprint digests differ")
+    return problems

@@ -28,7 +28,7 @@ the number of DRAM commands, not in simulated cycles.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 
 from repro.dram.controller import EventLog
 from repro.dram.rank import BlockScope
@@ -153,15 +153,30 @@ class BandwidthStackAccountant:
             dict.fromkeys(BANDWIDTH_COMPONENTS, 0) for _ in range(num_bins)
         ]
 
-        def add(component: str, s: int, e: int, weight: int) -> None:
-            """Add `weight` (in 1/n cycle units) per cycle of [s, e)."""
-            s = max(s, 0)
-            e = min(e, total_cycles)
-            while s < e:
-                b = s // bin_cycles
-                seg_end = min(e, (b + 1) * bin_cycles)
-                bins[b][component] += (seg_end - s) * weight
-                s = seg_end
+        if num_bins == 1:
+            # Aggregate stacks use a single bin; skip the bin walk.
+            counters0 = bins[0]
+
+            def add(component: str, s: int, e: int, weight: int) -> None:
+                """Add `weight` (in 1/n cycle units) per cycle of [s, e)."""
+                if s < 0:
+                    s = 0
+                if e > total_cycles:
+                    e = total_cycles
+                if s < e:
+                    counters0[component] += (e - s) * weight
+
+        else:
+
+            def add(component: str, s: int, e: int, weight: int) -> None:
+                """Add `weight` (in 1/n cycle units) per cycle of [s, e)."""
+                s = max(s, 0)
+                e = min(e, total_cycles)
+                while s < e:
+                    b = s // bin_cycles
+                    seg_end = min(e, (b + 1) * bin_cycles)
+                    bins[b][component] += (seg_end - s) * weight
+                    s = seg_end
 
         # --- 1. Data bursts -------------------------------------------
         # Entries are (start, end, is_write[, core_id]); hand-built logs
@@ -191,8 +206,39 @@ class BandwidthStackAccountant:
         blocked = _ScopedCursor(
             [(s, e, (scope, reason)) for s, e, scope, __, reason in log.blocked]
         )
-        per_bank = self._per_bank_cursors(log)
         bpg = self.spec.organization.banks_per_group
+
+        # Per-bank pre/act/cas coverage is computed with one global,
+        # time-sorted event sweep: each window contributes a +1/-1 edge
+        # on its bank's (bank, kind) slot, and per-bank states (with the
+        # pre > act > cas priority) are maintained incrementally. This
+        # replaces 3*n cursors each queried per segment — the accounting
+        # stays linear in the number of DRAM commands with a constant
+        # independent of the bank count. Events are packed into single
+        # ints (time in the high bits, then slot, then a start flag) so
+        # sorting and scanning stay allocation-free.
+        shift = (6 * n).bit_length()
+        events: list[int] = []
+        append = events.append
+        for windows, kind in (
+            (log.pre_windows, 0),
+            (log.act_windows, 1),
+            (log.cas_windows, 2),
+        ):
+            # `bank % n` matches the list indexing the per-bank cursors
+            # historically used: offline-reconstructed logs record
+            # precharge-all commands with a negative flat bank (see
+            # repro.trace.offline), which wrapped onto a high bank.
+            for s, e, bank in windows:
+                slot2 = ((bank % n) * 3 + kind) << 1
+                append((s << shift) | slot2 | 1)
+                append((e << shift) | slot2)
+        events.sort()
+        num_events = len(events)
+        counts = [0] * (3 * n)
+        bank_state = [0] * n  # 0 idle, 1 pre, 2 act, 3 cas
+        tallies = [n, 0, 0, 0]  # banks per state
+        ptr = 0
 
         for gap_start, gap_end in gaps:
             if gap_start >= gap_end:
@@ -200,13 +246,41 @@ class BandwidthStackAccountant:
             edges = {gap_start, gap_end}
             edges.update(refresh.edges_in(gap_start, gap_end))
             edges.update(blocked.edges_in(gap_start, gap_end))
-            for cursor in per_bank:
-                for kind_cursor in cursor:
-                    edges.update(kind_cursor.edges_in(gap_start, gap_end))
+            lo = bisect_left(events, (gap_start + 1) << shift)
+            hi = bisect_left(events, gap_end << shift)
+            if lo < hi:
+                edges.update(code >> shift for code in events[lo:hi])
             points = sorted(edges)
             for s, e in zip(points, points[1:]):
+                limit = (s + 1) << shift
+                while ptr < num_events:
+                    code = events[ptr]
+                    if code >= limit:
+                        break
+                    ptr += 1
+                    slot = (code >> 1) & ((1 << (shift - 1)) - 1)
+                    if code & 1:
+                        counts[slot] += 1
+                    else:
+                        counts[slot] -= 1
+                    bank = slot // 3
+                    base = bank * 3
+                    if counts[base]:
+                        state = 1
+                    elif counts[base + 1]:
+                        state = 2
+                    elif counts[base + 2]:
+                        state = 3
+                    else:
+                        state = 0
+                    old = bank_state[bank]
+                    if state != old:
+                        bank_state[bank] = state
+                        tallies[old] -= 1
+                        tallies[state] += 1
                 self._classify_segment(
-                    s, e, refresh, blocked, per_bank, bpg, add
+                    s, e, refresh, blocked,
+                    tallies[1], tallies[2], tallies[3], bpg, add,
                 )
 
         # --- 3. Exactness check ----------------------------------------
@@ -226,41 +300,21 @@ class BandwidthStackAccountant:
                 )
         return bins
 
-    def _per_bank_cursors(self, log: EventLog) -> list[tuple[_WindowCursor, ...]]:
-        """One (pre, act, cas) cursor triple per bank."""
-        n = self.num_banks
-        pre: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        act: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        cas: list[list[tuple[int, int]]] = [[] for _ in range(n)]
-        for s, e, bank in log.pre_windows:
-            pre[bank].append((s, e))
-        for s, e, bank in log.act_windows:
-            act[bank].append((s, e))
-        for s, e, bank in log.cas_windows:
-            cas[bank].append((s, e))
-        return [
-            (_WindowCursor(pre[i]), _WindowCursor(act[i]), _WindowCursor(cas[i]))
-            for i in range(n)
-        ]
-
     def _classify_segment(
         self, s: int, e: int, refresh: _WindowCursor, blocked: _ScopedCursor,
-        per_bank: list[tuple[_WindowCursor, ...]], banks_per_group: int,
+        n_pre: int, n_act: int, n_cas: int, banks_per_group: int,
         add,
     ) -> None:
-        """Attribute one channel-idle segment [s, e)."""
+        """Attribute one channel-idle segment [s, e).
+
+        `n_pre`/`n_act`/`n_cas` count banks precharging, activating, and
+        with a CAS in flight at `s`, with the per-bank pre > act > cas
+        priority already applied by the caller's event sweep.
+        """
         n = self.num_banks
         if refresh.cover(s):
             add("refresh", s, e, n)
             return
-        n_pre = n_act = n_cas = 0
-        for pre_cur, act_cur, cas_cur in per_bank:
-            if pre_cur.cover(s):
-                n_pre += 1
-            elif act_cur.cover(s):
-                n_act += 1
-            elif cas_cur.cover(s):
-                n_cas += 1
         if n_pre or n_act:
             add("precharge", s, e, n_pre)
             add("activate", s, e, n_act)

@@ -53,11 +53,24 @@ class CycleStackBuilder:
             raise AccountingError(f"unknown cycle component {component!r}")
         if cycles < 0:
             raise AccountingError(f"negative cycle count {cycles}")
+        if cycles <= 1e-12:
+            return
+        bin_cycles = self.bin_cycles
+        index = int(start // bin_cycles)
+        # Fast path: the interval fits inside one bin (the common case —
+        # dispatch chunks and stalls are much shorter than a bin).
+        if start + cycles <= (index + 1) * bin_cycles:
+            bins = self._bins
+            if index < len(bins):
+                bins[index][component] += cycles
+            else:
+                self._bin(index)[component] += cycles
+            return
         remaining = cycles
         position = start
         while remaining > 1e-12:
-            index = int(position // self.bin_cycles)
-            bin_end = (index + 1) * self.bin_cycles
+            index = int(position // bin_cycles)
+            bin_end = (index + 1) * bin_cycles
             chunk = min(remaining, bin_end - position)
             self._bin(index)[component] += chunk
             position += chunk

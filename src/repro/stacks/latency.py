@@ -88,23 +88,39 @@ class LatencyStackAccountant:
             )
         arrival, cas, finish = request.arrival, request.cas_issue, request.finish
         base_dram = finish - cas
-        wait = [(arrival, cas)]
 
+        # Each hierarchy level only allocates interval lists when its
+        # windows actually overlap the wait; the common fully-queued
+        # read touches none of them.
         in_refresh = iv.clip(refresh_windows, arrival, cas)
-        rest = iv.subtract(wait, in_refresh)
-        in_drain = iv.intersect(rest, iv.clip(drain_windows, arrival, cas))
-        rest = iv.subtract(rest, in_drain)
-        own: list[tuple[int, int]] = []
-        if request.own_pre_start >= 0:
-            own.append((request.own_pre_start, request.own_pre_end))
-        if request.own_act_start >= 0:
-            own.append((request.own_act_start, request.own_act_end))
-        own.sort()
-        in_own = iv.intersect(rest, iv.clip(own, arrival, cas))
-
-        refresh_c = iv.total_length(in_refresh)
-        drain_c = iv.total_length(in_drain)
-        own_c = iv.total_length(in_own)
+        if in_refresh:
+            rest = iv.subtract([(arrival, cas)], in_refresh)
+            refresh_c = iv.total_length(in_refresh)
+        else:
+            rest = [(arrival, cas)]
+            refresh_c = 0
+        drain_clipped = (
+            iv.clip(drain_windows, arrival, cas) if drain_windows else []
+        )
+        drain_c = 0
+        if drain_clipped:
+            in_drain = iv.intersect(rest, drain_clipped)
+            if in_drain:
+                rest = iv.subtract(rest, in_drain)
+                drain_c = iv.total_length(in_drain)
+        own_c = 0
+        pre_start = request.own_pre_start
+        act_start = request.own_act_start
+        if pre_start >= 0 or act_start >= 0:
+            own: list[tuple[int, int]] = []
+            if pre_start >= 0:
+                own.append((pre_start, request.own_pre_end))
+            if act_start >= 0:
+                own.append((act_start, request.own_act_end))
+            own.sort()
+            own_clipped = iv.clip(own, arrival, cas)
+            if own_clipped:
+                own_c = iv.total_length(iv.intersect(rest, own_clipped))
         queue_c = (cas - arrival) - refresh_c - drain_c - own_c
         parts: dict[str, float] = {
             "pre_act": own_c,

@@ -13,6 +13,22 @@ from repro.dram import (
 )
 
 
+def pytest_addoption(parser):
+    """Register the golden-fixture regeneration flag.
+
+    ``pytest --regen-golden tests/golden`` rewrites the committed
+    fingerprint fixtures from the current code instead of comparing
+    against them. Use after an *intentional* behaviour change, and
+    review the fixture diff like any other code change.
+    """
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden fixture files from the current code",
+    )
+
+
 @pytest.fixture
 def spec():
     """The paper's DDR4-2400 timing spec."""

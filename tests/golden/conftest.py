@@ -1,0 +1,67 @@
+"""Fixtures for the golden-regression layer.
+
+Each golden test runs a small seeded simulation and compares its
+:func:`~repro.reliability.fingerprint.result_fingerprint` against a
+fixture committed under ``tests/golden/fixtures/``. The fingerprint
+covers the full DRAM event log plus both stacks at full float
+precision, so any scheduling, timing, or accounting change — however
+small — fails the comparison with a pointed diff.
+
+To bless an intentional change::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+and commit the rewritten fixture files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.reliability.fingerprint import (
+    diff_fingerprints,
+    result_fingerprint,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare (or regenerate) a named golden fingerprint.
+
+    Usage: ``golden("scenario-name", result)``. Returns the actual
+    fingerprint so tests can make additional assertions on it.
+    """
+    regen = request.config.getoption("--regen-golden")
+
+    def check(name: str, result) -> dict:
+        actual = result_fingerprint(result)
+        path = FIXTURES / f"{name}.json"
+        if regen:
+            FIXTURES.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(actual, indent=2, sort_keys=True) + "\n"
+            )
+            return actual
+        if not path.exists():
+            pytest.fail(
+                f"missing golden fixture {path}; generate it with "
+                f"'pytest tests/golden --regen-golden' and commit it"
+            )
+        expected = json.loads(path.read_text())
+        problems = diff_fingerprints(expected, actual)
+        if problems:
+            pytest.fail(
+                f"golden fingerprint mismatch for {name!r}:\n  "
+                + "\n  ".join(problems)
+                + "\n(if the change is intentional, regenerate with "
+                "'pytest tests/golden --regen-golden' and commit the "
+                "fixture diff)"
+            )
+        return actual
+
+    return check
