@@ -19,6 +19,20 @@ if [[ "${1:-}" == "fast" ]]; then
     MARKER_ARGS=(-m "not slow")
 fi
 
+echo "== static checks (gated on tool availability) =="
+# Lint/type gates run only where the tools exist; CI images without
+# them skip with a notice instead of failing the build.
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests scripts
+else
+    echo "ruff not installed; skipping lint gate"
+fi
+if command -v mypy >/dev/null 2>&1; then
+    mypy src/repro
+else
+    echo "mypy not installed; skipping type gate"
+fi
+
 echo "== tier-1 test suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout --signal=KILL "$TIER1_TIMEOUT" \
     python -m pytest -x -q "${MARKER_ARGS[@]}"

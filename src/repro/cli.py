@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from repro.analysis.report import render_report
+from repro.dram import components
 from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
 from repro.errors import ReproError, exit_code_for
 from repro.experiments.runner import resume_run, run_gap, run_synthetic
@@ -52,8 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--cores", type=int, default=1)
     analyze.add_argument("--stores", type=float, default=0.0,
                          help="store fraction (synthetic only)")
-    analyze.add_argument("--page-policy", choices=("open", "closed"),
+    analyze.add_argument("--page-policy",
+                         choices=components.PAGE_POLICIES.names(),
                          default=None)
+    analyze.add_argument("--scheduling",
+                         choices=components.SCHEDULERS.names(),
+                         default="fr-fcfs",
+                         help="memory scheduling policy (any registered "
+                         "scheduler component)")
     analyze.add_argument("--scheme", choices=("default", "interleaved"),
                          default="default", help="bank indexing scheme")
     analyze.add_argument("--scale", choices=("ci", "paper"), default="ci")
@@ -171,6 +178,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             args.workload,
             cores=args.cores,
             page_policy=args.page_policy or "closed",
+            scheduling=args.scheduling,
             address_scheme=args.scheme,
             scale=args.scale,
             guard=guard,
@@ -182,6 +190,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             cores=args.cores,
             store_fraction=args.stores,
             page_policy=args.page_policy or "open",
+            scheduling=args.scheduling,
             address_scheme=args.scheme,
             scale=args.scale,
             guard=guard,

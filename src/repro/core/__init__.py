@@ -1,10 +1,60 @@
-"""The paper's primary contribution, under its conventional name.
+"""Core architecture: component interfaces, event bus, plugin registry.
 
-``repro.core`` is an alias for :mod:`repro.stacks` — the bandwidth /
-latency / cycle stack accounting mechanisms and the stack-based
-extrapolation. The implementation lives in ``repro/stacks/`` (see
-DESIGN.md); both import paths are stable API.
+This package holds the framework the DRAM simulator is composed from —
+no simulation logic, only the seams:
+
+* :mod:`repro.core.interfaces` — the component protocols
+  (:class:`~repro.core.interfaces.SchedulerPolicy`,
+  :class:`~repro.core.interfaces.PagePolicy`,
+  :class:`~repro.core.interfaces.WriteDrainPolicy`,
+  :class:`~repro.core.interfaces.RefreshPolicy`,
+  :class:`~repro.core.interfaces.AccountingTap`) plus the shared
+  single-/multi-channel :class:`~repro.core.interfaces.MemoryInterface`
+  contract and its :class:`~repro.core.interfaces.CompositeMemory`
+  aggregation base;
+* :mod:`repro.core.events` — the typed
+  :class:`~repro.core.events.EventBus` and its event types;
+* :mod:`repro.core.registry` — the
+  :class:`~repro.core.registry.ComponentRegistry` plugin mechanism.
+
+Concrete component implementations live in
+:mod:`repro.dram.components`; the accounting mechanisms that are the
+paper's contribution live in :mod:`repro.stacks`. See
+``docs/architecture.md`` for the full map.
 """
 
-from repro.stacks import *  # noqa: F401,F403
-from repro.stacks import __all__  # noqa: F401
+from repro.core.events import (
+    CommandIssued,
+    EventBus,
+    RefreshStarted,
+    RequestAdmitted,
+    RequestCompleted,
+    SchedulerHeartbeat,
+)
+from repro.core.interfaces import (
+    AccountingTap,
+    CompositeMemory,
+    MemoryInterface,
+    PagePolicy,
+    RefreshPolicy,
+    SchedulerPolicy,
+    WriteDrainPolicy,
+)
+from repro.core.registry import ComponentRegistry
+
+__all__ = [
+    "AccountingTap",
+    "CommandIssued",
+    "ComponentRegistry",
+    "CompositeMemory",
+    "EventBus",
+    "MemoryInterface",
+    "PagePolicy",
+    "RefreshPolicy",
+    "RefreshStarted",
+    "RequestAdmitted",
+    "RequestCompleted",
+    "SchedulerHeartbeat",
+    "SchedulerPolicy",
+    "WriteDrainPolicy",
+]

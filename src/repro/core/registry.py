@@ -1,0 +1,83 @@
+"""Plugin registry for controller components.
+
+Every pluggable concern of the memory controller (scheduling, page
+policy, write draining, refresh, accounting) has one
+:class:`ComponentRegistry` keyed by short config strings — the strings
+that appear in :class:`~repro.dram.controller.ControllerConfig`. The
+registries make the controller's composition data-driven: a new policy
+is a class plus a ``@registry.register("name")`` line, after which it is
+reachable from every config surface (``ControllerConfig``, the CLI, the
+experiment runners) without touching the controller.
+
+See ``docs/architecture.md`` for the full registration walk-through.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from repro.errors import ConfigurationError
+
+F = TypeVar("F", bound=Callable)
+
+
+class ComponentRegistry:
+    """Name -> factory mapping for one component kind.
+
+    Args:
+        kind: human-readable component kind, used in error messages and
+            the architecture docs (e.g. ``"scheduling policy"``).
+
+    Factories are usually classes; :meth:`create` calls them with
+    whatever arguments the caller passes through. Registration order is
+    preserved — :meth:`names` lists the default implementation first,
+    which the config error messages rely on.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable[[F], F]:
+        """Class decorator registering `factory` under `name`."""
+
+        def decorator(factory: F) -> F:
+            if name in self._factories:
+                raise ConfigurationError(
+                    f"{self.kind} {name!r} is already registered "
+                    f"(to {self._factories[name]!r})"
+                )
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the component registered under `name`."""
+        return self.get(name)(*args, **kwargs)
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under `name`."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown {self.kind} {name!r}; "
+                f"expected one of {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order (default first)."""
+        return tuple(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._factories)
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentRegistry({self.kind!r}, {self.names()})"

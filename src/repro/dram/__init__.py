@@ -11,6 +11,7 @@ windows, refresh windows, blocked intervals) that the stack accounting in
 :mod:`repro.stacks` consumes.
 """
 
+from repro.dram import components
 from repro.dram.address import AddressMapping, Coordinates
 from repro.dram.commands import Command, CommandType, Request, RequestType
 from repro.dram.controller import ControllerConfig, MemoryController
@@ -26,6 +27,7 @@ from repro.dram.timing import (
 
 __all__ = [
     "AddressMapping",
+    "components",
     "Command",
     "CommandType",
     "ControllerConfig",

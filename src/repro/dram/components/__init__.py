@@ -1,0 +1,88 @@
+"""Pluggable memory-controller components and their registries.
+
+The controller is assembled from five component kinds, each resolved
+from a :class:`~repro.core.registry.ComponentRegistry` keyed by the
+config string that selects it:
+
+==================  =======================  ==========================
+registry            config field             built-ins
+==================  =======================  ==========================
+SCHEDULERS          ``scheduling``           ``fr-fcfs`` (default),
+                                             ``fcfs``
+PAGE_POLICIES       ``page_policy``          ``open`` (default),
+                                             ``closed``
+WRITE_DRAIN         ``write_drain``          ``watermark`` (default),
+                                             ``burst``
+REFRESH             ``refresh``              ``all-bank`` (default),
+                                             ``none``
+ACCOUNTING          ``accounting``           ``event-log`` (default),
+                                             ``null``
+==================  =======================  ==========================
+
+Registering a custom policy is one decorator::
+
+    from repro.dram.components import SCHEDULERS
+
+    @SCHEDULERS.register("my-policy")
+    class MyScheduler(FrFcfsScheduler):
+        ...
+
+after which ``ControllerConfig(scheduling="my-policy")`` selects it.
+See ``docs/architecture.md`` for the component interfaces.
+"""
+
+from __future__ import annotations
+
+from repro.core.registry import ComponentRegistry
+from repro.dram.components.accounting import EventLog, EventLogTap, NullTap
+from repro.dram.components.draining import (
+    BurstDrainPolicy,
+    WatermarkDrainPolicy,
+)
+from repro.dram.components.paging import ClosedPagePolicy, OpenPagePolicy
+from repro.dram.components.refreshing import AllBankRefresh, NoRefresh
+from repro.dram.components.scheduling import FcfsScheduler, FrFcfsScheduler
+
+#: Scheduler policies, keyed by ``ControllerConfig.scheduling``.
+SCHEDULERS: ComponentRegistry = ComponentRegistry("scheduling policy")
+SCHEDULERS.register("fr-fcfs")(FrFcfsScheduler)
+SCHEDULERS.register("fcfs")(FcfsScheduler)
+
+#: Page policies, keyed by ``ControllerConfig.page_policy``.
+PAGE_POLICIES: ComponentRegistry = ComponentRegistry("page policy")
+PAGE_POLICIES.register("open")(OpenPagePolicy)
+PAGE_POLICIES.register("closed")(ClosedPagePolicy)
+
+#: Write-drain policies, keyed by ``ControllerConfig.write_drain``.
+WRITE_DRAIN: ComponentRegistry = ComponentRegistry("write-drain policy")
+WRITE_DRAIN.register("watermark")(WatermarkDrainPolicy)
+WRITE_DRAIN.register("burst")(BurstDrainPolicy)
+
+#: Refresh policies, keyed by ``ControllerConfig.refresh``.
+REFRESH: ComponentRegistry = ComponentRegistry("refresh policy")
+REFRESH.register("all-bank")(AllBankRefresh)
+REFRESH.register("none")(NoRefresh)
+
+#: Accounting taps, keyed by ``ControllerConfig.accounting``.
+ACCOUNTING: ComponentRegistry = ComponentRegistry("accounting tap")
+ACCOUNTING.register("event-log")(EventLogTap)
+ACCOUNTING.register("null")(NullTap)
+
+__all__ = [
+    "ACCOUNTING",
+    "AllBankRefresh",
+    "BurstDrainPolicy",
+    "ClosedPagePolicy",
+    "EventLog",
+    "EventLogTap",
+    "FcfsScheduler",
+    "FrFcfsScheduler",
+    "NoRefresh",
+    "NullTap",
+    "OpenPagePolicy",
+    "PAGE_POLICIES",
+    "REFRESH",
+    "SCHEDULERS",
+    "WRITE_DRAIN",
+    "WatermarkDrainPolicy",
+]

@@ -1,0 +1,96 @@
+"""Accounting taps: what a controller records about its own run.
+
+The tap owns the :class:`EventLog` — the complete channel timeline the
+stack accountants (:mod:`repro.stacks`), the reliability fingerprint
+(:mod:`repro.reliability.fingerprint`) and the offline trace tooling
+consume. The controller and its banks append to the log's lists
+directly (the lists are shared by reference and never reassigned), so
+the recording fast path costs one ``list.append`` per window; the
+typed *online* stream for live subscribers travels separately on the
+:class:`~repro.core.events.EventBus`.
+
+Two taps are registered:
+
+* ``event-log`` (default) — record everything;
+* ``null`` — record nothing (all appends are discarded). For pure
+  timing runs where the stacks will never be built; the accountants
+  see empty timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command
+from repro.dram.rank import BlockScope
+
+
+@dataclass
+class EventLog:
+    """Channel timeline recorded during simulation.
+
+    All windows are half-open cycle intervals ``[start, end)``. Bank
+    indices are flat (bank_group * banks_per_group + bank).
+    """
+
+    #: Data-bus bursts: (start, end, is_write, core_id).
+    bursts: list = field(default_factory=list)
+    #: Precharge windows: (start, end, flat_bank).
+    pre_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Activate windows: (start, end, flat_bank).
+    act_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: CAS service windows (issue to data end): (start, end, flat_bank).
+    cas_windows: list[tuple[int, int, int]] = field(default_factory=list)
+    #: Refresh windows: (start, end).
+    refresh_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Blocked-with-pending-work intervals:
+    #: (start, end, BlockScope, bank_group, reason).
+    blocked: list[tuple[int, int, BlockScope, int, str]] = field(
+        default_factory=list
+    )
+    #: Forced write-drain windows: (start, end); shared with the
+    #: write-drain policy.
+    drain_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Optional full command trace.
+    commands: list[Command] = field(default_factory=list)
+
+
+class EventLogTap:
+    """The default tap: materialize the full :class:`EventLog`."""
+
+    name = "event-log"
+
+    def __init__(self) -> None:
+        self.log = EventLog()
+
+
+class _DiscardList(list):
+    """A list whose appends vanish; keeps the recording call shape."""
+
+    def append(self, item) -> None:  # noqa: ARG002 - deliberate no-op
+        pass
+
+
+class NullTap:
+    """Record nothing: every timeline stays empty.
+
+    The log object still exists (same field layout), so consumers that
+    merely *read* the timelines see empty lists instead of crashing.
+    Blocked-window recording also relies on reading ``blocked[-1]`` for
+    merge-on-append; the discard list is always empty, so that path
+    degenerates to a no-op too.
+    """
+
+    name = "null"
+
+    def __init__(self) -> None:
+        self.log = EventLog(
+            bursts=_DiscardList(),
+            pre_windows=_DiscardList(),
+            act_windows=_DiscardList(),
+            cas_windows=_DiscardList(),
+            refresh_windows=_DiscardList(),
+            blocked=_DiscardList(),
+            drain_windows=_DiscardList(),
+            commands=_DiscardList(),
+        )

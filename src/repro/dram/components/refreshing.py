@@ -1,0 +1,88 @@
+"""Refresh policies: when and how the DRAM is refreshed.
+
+* ``all-bank`` (default) — all-bank refresh every tREFI: precharge
+  everything, hold the rank in refresh for tRFC (the paper's model).
+* ``none`` — refresh disabled (ablation); ``next_due`` sits at the
+  far-future sentinel so the scheduling loop never triggers.
+
+``next_due`` and ``until`` are plain int attributes read by the
+controller's scheduling loop every step; :meth:`perform` runs one
+refresh sequence and reschedules.
+"""
+
+from __future__ import annotations
+
+from repro.dram.commands import CommandType
+
+#: Sentinel "infinitely far in the future" time (mirrors the
+#: controller's FAR_FUTURE; duplicated to avoid an import cycle).
+_FAR_FUTURE = 1 << 62
+
+
+class AllBankRefresh:
+    """Precharge all banks and hold the rank in refresh for tRFC."""
+
+    name = "all-bank"
+
+    def __init__(self) -> None:
+        self.next_due = _FAR_FUTURE
+        self.until = 0
+
+    def bind(self, controller) -> None:
+        self._ctrl = controller
+        self.next_due = controller.spec.tREFI
+        self.until = 0
+
+    def perform(self, now: int) -> None:
+        """One all-bank refresh sequence starting no earlier than `now`."""
+        ctrl = self._ctrl
+        spec = ctrl.spec
+        ctrl._sched.note_refresh()
+        t_ready = now
+        any_open = False
+        for bank in ctrl._banks:
+            t_ready = max(t_ready, bank.cas_data_until)
+            if bank.is_open:
+                any_open = True
+                t_ready = max(t_ready, bank.next_pre)
+        t_ready = max(t_ready, ctrl._bus.free_at)
+        if any_open:
+            t_pre = t_ready
+            for bank in ctrl._banks:
+                if bank.is_open:
+                    bank.do_precharge(t_pre)
+                    ctrl.stats.precharges += 1
+            ctrl._record_command(
+                CommandType.PRECHARGE_ALL, t_pre, -1, ctrl._banks[0]
+            )
+            t_ref = t_pre + spec.tRP
+        else:
+            t_ref = t_ready
+        refresh_end = t_ref + spec.tRFC
+        ctrl.log.refresh_windows.append((t_ref, refresh_end))
+        for bank in ctrl._banks:
+            bank.next_act = max(bank.next_act, refresh_end)
+            bank.force_close_for_refresh()
+        self.until = refresh_end
+        self.next_due += spec.tREFI
+        ctrl.stats.refreshes += 1
+        ctrl._record_command(CommandType.REFRESH, t_ref, -1, ctrl._banks[0])
+        # The implicit precharge-all ahead of REF is part of the refresh
+        # sequence; its per-bank timing was applied above.
+        ctrl._publish_refresh(t_ref, refresh_end)
+
+
+class NoRefresh:
+    """Refresh disabled: never due, never in progress."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self.next_due = _FAR_FUTURE
+        self.until = 0
+
+    def bind(self, controller) -> None:
+        pass
+
+    def perform(self, now: int) -> None:  # pragma: no cover - unreachable
+        raise AssertionError("NoRefresh.perform should never be called")

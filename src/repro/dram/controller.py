@@ -8,6 +8,16 @@ multiple cycles in one step" approach — the complete channel timeline
 intervals with their binding constraint) is recorded in an event log that
 the stack accountants in :mod:`repro.stacks` consume.
 
+The controller itself is a thin composition shell: scheduling, page
+policy, write draining, refresh and accounting are pluggable components
+resolved from the registries in :mod:`repro.dram.components` by the
+config strings of :class:`ControllerConfig`. Besides the offline event
+log, the controller publishes a typed *online* stream on an
+:class:`~repro.core.events.EventBus` (command issues, queue admissions,
+request completions, refresh windows, scheduler heartbeats) that live
+observers — the forward-progress watchdog, the live utilization meter —
+subscribe to instead of polling controller internals.
+
 Features modeled: FR-FCFS and FCFS scheduling, open and closed page
 policies, a watermark-drained write buffer with read forwarding, all-bank
 refresh at tREFI, and the full DDR4 bank/bank-group/rank timing protocol.
@@ -18,34 +28,48 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro.core.events import (
+    CommandIssued,
+    EventBus,
+    RefreshStarted,
+    RequestAdmitted,
+    RequestCompleted,
+    SchedulerHeartbeat,
+)
+from repro.dram import components
 from repro.dram.address import AddressMapping
 from repro.dram.bank import Bank
 from repro.dram.commands import Command, CommandType, Request, RequestType
-from repro.dram.rank import Block, BlockScope, RankTiming, SharedBus
-from repro.dram.scheduler import SCHEDULING_POLICIES, QueuedRequest, RequestQueue
+from repro.dram.components.accounting import EventLog
+from repro.dram.components.paging import _BankCoords  # noqa: F401 - re-export
+from repro.dram.rank import BlockScope, RankTiming, SharedBus
+from repro.dram.scheduler import QueuedRequest, RequestQueue
 from repro.dram.timing import DDR4_2400, TimingSpec
 from repro.dram.wqueue import WriteBuffer, WriteQueueConfig
 from repro.errors import ConfigurationError
 
-PAGE_POLICIES = ("open", "closed")
+#: Back-compat name: the registered page-policy names at import time.
+#: Validation goes through the registry, so policies registered later
+#: are accepted even though they are not in this snapshot.
+PAGE_POLICIES = components.PAGE_POLICIES.names()
 
 #: Scheduling engines. ``"fast"`` memoizes the scheduling decision
-#: between state changes (see :meth:`MemoryController._compute_plan`);
-#: ``"reference"`` re-derives it from scratch every step. Both produce
-#: bit-identical event logs — the golden/differential tests in
-#: ``tests/golden`` hold them to that.
+#: between state changes (see the ``fr-fcfs`` scheduler component in
+#: :mod:`repro.dram.components.scheduling`); ``"reference"`` re-derives
+#: it from scratch every step. Both produce bit-identical event logs —
+#: the golden/differential tests in ``tests/golden`` hold them to that.
 ENGINES = ("fast", "reference")
 
 #: Sentinel "infinitely far in the future" time.
 FAR_FUTURE = 1 << 62
 
-# Enum-member lookups hoisted out of the fused candidate scan.
+# Enum-member lookups hoisted out of the issue path.
 _CAS_READ = CommandType.READ
 _CAS_WRITE = CommandType.WRITE
 _ACT = CommandType.ACTIVATE
 _PRE = CommandType.PRECHARGE
 
-#: Scheduling steps between forward-progress watchdog observations. The
+#: Scheduling steps between forward-progress heartbeats. The watchdog's
 #: stall threshold is hundreds of thousands of cycles, so a ~32-step
 #: sampling delay is invisible while keeping the healthy path free of
 #: per-step attribute chatter.
@@ -56,6 +80,10 @@ _WATCHDOG_STRIDE = 32
 class ControllerConfig:
     """Configuration of one memory controller / channel.
 
+    The string-valued policy fields are looked up in the component
+    registries of :mod:`repro.dram.components`; registering a custom
+    component makes its name valid here.
+
     Attributes:
         spec: DRAM timing specification (default: the paper's DDR4-2400).
         address_scheme: ``"default"`` or ``"interleaved"`` (Fig. 5).
@@ -64,6 +92,9 @@ class ControllerConfig:
             targets its open row.
         scheduling: ``"fr-fcfs"`` (paper) or ``"fcfs"``.
         write_queue: write-buffer sizing and watermarks.
+        write_drain: ``"watermark"`` (paper: forced drains run from the
+            high to the low watermark) or ``"burst"`` (forced drains run
+            to an empty buffer).
         read_forwarding: serve reads that hit a buffered write directly
             from the write buffer.
         forward_latency: cycles for a forwarded read.
@@ -71,6 +102,10 @@ class ControllerConfig:
             the stack accounting does not need it, but the offline trace
             tooling in :mod:`repro.trace` does).
         refresh_enabled: set False to disable refresh (ablation).
+        refresh: refresh policy name (``"all-bank"`` or ``"none"``);
+            None derives it from `refresh_enabled`.
+        accounting: ``"event-log"`` records the full timeline;
+            ``"null"`` records nothing (pure timing runs).
         starvation_cap: FR-FCFS reordering bound — a request older than
             this many cycles beats younger row hits to its bank.
         engine: ``"fast"`` (default) caches the scheduling decision
@@ -90,57 +125,35 @@ class ControllerConfig:
     keep_command_trace: bool = False
     refresh_enabled: bool = True
     engine: str = "fast"
+    write_drain: str = "watermark"
+    refresh: str | None = None
+    accounting: str = "event-log"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
-        if self.page_policy not in PAGE_POLICIES:
-            raise ConfigurationError(
-                f"unknown page policy {self.page_policy!r}; "
-                f"expected one of {PAGE_POLICIES}"
-            )
-        if self.scheduling not in SCHEDULING_POLICIES:
-            raise ConfigurationError(
-                f"unknown scheduling policy {self.scheduling!r}; "
-                f"expected one of {SCHEDULING_POLICIES}"
-            )
+        # Registry lookups raise ConfigurationError with the expected
+        # names when a policy string is unknown.
+        components.PAGE_POLICIES.get(self.page_policy)
+        components.SCHEDULERS.get(self.scheduling)
+        components.WRITE_DRAIN.get(self.write_drain)
+        components.REFRESH.get(self.resolved_refresh)
+        components.ACCOUNTING.get(self.accounting)
+
+    @property
+    def resolved_refresh(self) -> str:
+        """The effective refresh-policy name."""
+        if self.refresh is not None:
+            return self.refresh
+        return "all-bank" if self.refresh_enabled else "none"
 
     def make_mapping(self) -> AddressMapping:
         """Build the configured address mapping."""
         return AddressMapping.from_name(
             self.address_scheme, self.spec.organization
         )
-
-
-@dataclass
-class EventLog:
-    """Channel timeline recorded during simulation.
-
-    All windows are half-open cycle intervals ``[start, end)``. Bank
-    indices are flat (bank_group * banks_per_group + bank).
-    """
-
-    #: Data-bus bursts: (start, end, is_write, core_id).
-    bursts: list = field(default_factory=list)
-    #: Precharge windows: (start, end, flat_bank).
-    pre_windows: list[tuple[int, int, int]] = field(default_factory=list)
-    #: Activate windows: (start, end, flat_bank).
-    act_windows: list[tuple[int, int, int]] = field(default_factory=list)
-    #: CAS service windows (issue to data end): (start, end, flat_bank).
-    cas_windows: list[tuple[int, int, int]] = field(default_factory=list)
-    #: Refresh windows: (start, end).
-    refresh_windows: list[tuple[int, int]] = field(default_factory=list)
-    #: Blocked-with-pending-work intervals:
-    #: (start, end, BlockScope, bank_group, reason).
-    blocked: list[tuple[int, int, BlockScope, int, str]] = field(
-        default_factory=list
-    )
-    #: Forced write-drain windows: (start, end); shared with WriteBuffer.
-    drain_windows: list[tuple[int, int]] = field(default_factory=list)
-    #: Optional full command trace.
-    commands: list[Command] = field(default_factory=list)
 
 
 @dataclass
@@ -176,16 +189,29 @@ class MemoryController:
 
     Co-simulation drivers interleave :meth:`enqueue` and :meth:`run_until`;
     trace-driven runs enqueue everything and call :meth:`drain`.
+
+    `bus` lets an enclosing :class:`~repro.dram.system.MemorySystem`
+    share one :class:`~repro.core.events.EventBus` across channels;
+    standalone controllers get their own.
     """
 
-    def __init__(self, config: ControllerConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ControllerConfig | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
         self.config = config or ControllerConfig()
         self.spec = self.config.spec
         org = self.spec.organization
         self.mapping = self.config.make_mapping()
         self.num_banks = org.total_banks
 
-        self.log = EventLog()
+        #: The typed online event stream (:mod:`repro.core.events`).
+        self.events = bus if bus is not None else EventBus()
+
+        #: Accounting tap owning the offline :class:`EventLog`.
+        self.tap = components.ACCOUNTING.create(self.config.accounting)
+        self.log = self.tap.log
         self.stats = ControllerStats()
         self._banks = [
             Bank(
@@ -198,19 +224,26 @@ class MemoryController:
             )
             for i in range(self.num_banks)
         ]
-        bus = SharedBus()
+        shared_bus = SharedBus()
         self._ranks = [
-            RankTiming(self.spec, rank_id=r, bus=bus)
+            RankTiming(self.spec, rank_id=r, bus=shared_bus)
             for r in range(org.ranks)
         ]
-        self._bus = bus
+        self._bus = shared_bus
         self._read_queue = RequestQueue(self.num_banks)
-        self._write_buffer = WriteBuffer(self.config.write_queue, self.num_banks)
+        #: Write-drain policy component (shared with the write buffer).
+        self._drain = components.WRITE_DRAIN.create(
+            self.config.write_drain, self.config.write_queue
+        )
+        self._write_buffer = WriteBuffer(
+            self.config.write_queue, self.num_banks, drain_policy=self._drain
+        )
         self.log.drain_windows = self._write_buffer.drain_windows
 
         #: Optional forward-progress watchdog (see
-        #: :mod:`repro.reliability.watchdog`); consulted every
-        #: ``_WATCHDOG_STRIDE`` scheduling steps when set.
+        #: :mod:`repro.reliability.watchdog`); fed through
+        #: :class:`SchedulerHeartbeat` events every ``_WATCHDOG_STRIDE``
+        #: scheduling steps while attached.
         self.watchdog = None
         self._watchdog_countdown = 0
 
@@ -221,27 +254,21 @@ class MemoryController:
         self._completions: list[Request] = []
         self.completed_requests: list[Request] = []
 
-        self._next_refresh_due = (
-            self.spec.tREFI if self.config.refresh_enabled else FAR_FUTURE
+        #: Page-policy component.
+        self._page = components.PAGE_POLICIES.create(self.config.page_policy)
+        self._page.bind(self)
+        #: Scheduler component; owns the plan/candidate caches and the
+        #: scheduling/timing epochs (PR 2's fast engine) as public
+        #: attributes the hot loop below reads directly.
+        self._sched = components.SCHEDULERS.create(self.config.scheduling)
+        self._sched.bind(self)
+        #: Refresh component; `next_due`/`until` are read every step.
+        self._refresh = components.REFRESH.create(
+            self.config.resolved_refresh
         )
-        self._refresh_until = 0
+        self._refresh.bind(self)
 
-        # Scheduling-decision cache (fast engine). `_sched_epoch` counts
-        # the state changes that can alter the decision — queue
-        # admissions, command issues, refreshes. The cached plan stays
-        # valid while the epoch is unchanged and `now` is below
-        # `_plan_valid_until`, the earliest cycle an FR-FCFS starvation
-        # flip could displace a row-hit choice (docs/performance.md has
-        # the full invalidation argument).
         self._fast_engine = self.config.engine == "fast"
-        self._fcfs = self.config.scheduling == "fcfs"
-        self._closed_page = self.config.page_policy == "closed"
-        # Constants for the fused candidate scan.
-        self._tCCD_L = self.spec.tCCD_L
-        self._tWTR_L = self.spec.tWTR_L
-        self._tRRD_L = self.spec.tRRD_L
-        cap = self.config.starvation_cap
-        self._cap = cap if cap is not None else FAR_FUTURE
         self._tRP = self.spec.tRP
         self._tRCD = self.spec.tRCD
         self._trace_commands = self.config.keep_command_trace
@@ -251,32 +278,14 @@ class MemoryController:
         self._log_bursts = self.log.bursts
         self._log_cas_windows = self.log.cas_windows
         self._log_blocked = self.log.blocked
-        self._sched_epoch = 0
-        self._plan: tuple | None = None
-        self._plan_epoch = -1  # -1: cache invalid
-        self._plan_valid_until = 0
-        self._plan_write_mode = False
-        self._plan_block: Block | None = None
-        # Per-bank candidate-selection cache (fast FR-FCFS scan), one
-        # list per queue. Entry: (entry, kcode, flip, bank_time, coords,
-        # bank_group, req_id) where kcode is 0/1/2 for CAS/ACT/PRE and
-        # `flip` the starvation-flip cycle (FAR_FUTURE when stable). A
-        # slot is invalidated on admission to the bank, any command
-        # issued on the bank, and refresh — the only events that change
-        # a bank's selection or its bank-local timing gate.
-        total_banks = len(self._banks)
-        self._cand_read: list[tuple | None] = [None] * total_banks
-        self._cand_write: list[tuple | None] = [None] * total_banks
-        # Timing epoch: bumped only by events that change command timing
-        # or remove candidates (issue, refresh) — NOT by admissions.
-        # While it is unchanged, every already-planned candidate's
-        # effective issue time is provably unchanged, so a plan can be
-        # repaired incrementally from the banks admitted to since the
-        # last plan (`_dirty_read`/`_dirty_write`) instead of rescanned.
-        self._timing_epoch = 0
-        self._plan_timing_epoch = -1
-        self._dirty_read: list[int] = []
-        self._dirty_write: list[int] = []
+        # Cached live handler lists (identity-stable, see EventBus):
+        # publishing costs one truthiness check while nobody subscribes.
+        events = self.events
+        self._ev_command = events.handlers(CommandIssued)
+        self._ev_admit = events.handlers(RequestAdmitted)
+        self._ev_complete = events.handlers(RequestCompleted)
+        self._ev_refresh = events.handlers(RefreshStarted)
+        self._ev_heartbeat = events.handlers(SchedulerHeartbeat)
 
     # ------------------------------------------------------------------
     # Public API
@@ -345,9 +354,19 @@ class MemoryController:
     # Reliability hooks
     # ------------------------------------------------------------------
     def attach_watchdog(self, watchdog) -> None:
-        """Install a forward-progress watchdog (None to detach)."""
+        """Install a forward-progress watchdog (None to detach).
+
+        The watchdog rides the event bus: it is subscribed to
+        :class:`SchedulerHeartbeat`, published every ``_WATCHDOG_STRIDE``
+        scheduling steps while anyone listens.
+        """
+        if self.watchdog is not None:
+            self.events.unsubscribe(
+                SchedulerHeartbeat, self.watchdog.on_heartbeat
+            )
         self.watchdog = watchdog
         if watchdog is not None:
+            self.events.subscribe(SchedulerHeartbeat, watchdog.on_heartbeat)
             watchdog.reset()
 
     @property
@@ -371,9 +390,9 @@ class MemoryController:
         """
         max_requests = 32
         queue_head = []
-        # Mirrors update_drain_mode without mutating the drain state.
+        # Mirrors the drain policy's select_mode without mutating it.
         reads_pending = bool(self._read_queue)
-        write_mode = self._write_buffer.draining or (
+        write_mode = self._drain.draining or (
             len(self._write_buffer) > 0 and not reads_pending
         )
         for queue in (self._read_queue, self._write_buffer.queue):
@@ -426,8 +445,8 @@ class MemoryController:
             "banks": banks,
             "candidates": candidates,
             "refresh": {
-                "next_due": self._next_refresh_due,
-                "in_progress_until": self._refresh_until,
+                "next_due": self._refresh.next_due,
+                "in_progress_until": self._refresh.until,
             },
         }
 
@@ -454,8 +473,15 @@ class MemoryController:
         self.completed_requests.append(req)
         if req.req_type is RequestType.READ:
             self.stats.reads_completed += 1
+            is_read = True
         else:
             self.stats.writes_completed += 1
+            is_read = False
+        handlers = self._ev_complete
+        if handlers:
+            event = RequestCompleted(self.now, req.req_id, is_read, req.finish)
+            for handler in handlers:
+                handler(event)
 
     def _admit_arrivals(self) -> None:
         """Move requests whose arrival time has come into the queues."""
@@ -466,6 +492,14 @@ class MemoryController:
         decode = mapping.decode
         flat_index = mapping.flat_bank_index
         heappop = heapq.heappop
+        sched = self._sched
+        # note_admit inlined (hot path): invalidate the bank's candidate
+        # slot and mark it dirty for incremental plan repair.
+        cand_read = sched.cand_read
+        cand_write = sched.cand_write
+        dirty_read = sched.dirty_read
+        dirty_write = sched.dirty_write
+        ev_admit = self._ev_admit
         # Forwarding probe short-circuits on the buffered-address dict so
         # the empty-buffer case skips the line-align arithmetic.
         wb_addresses = self._write_buffer._addresses if (
@@ -489,18 +523,30 @@ class MemoryController:
                     heapq.heappush(
                         self._in_flight, (req.finish, req.req_id, req)
                     )
+                    if ev_admit:
+                        event = RequestAdmitted(
+                            now, req.req_id, False, flat, True
+                        )
+                        for handler in ev_admit:
+                            handler(event)
                     continue
                 bank = self._banks[flat]
                 req.row_open_on_arrival = bank.open_row == coords.row
                 self._read_queue.add(req, coords, flat)
-                self._cand_read[flat] = None
-                self._dirty_read.append(flat)
+                cand_read[flat] = None
+                dirty_read.append(flat)
+                is_write = False
             else:
                 self._write_buffer.add(req, coords, flat)
-                self._cand_write[flat] = None
-                self._dirty_write.append(flat)
+                cand_write[flat] = None
+                dirty_write.append(flat)
+                is_write = True
+            if ev_admit:
+                event = RequestAdmitted(now, req.req_id, is_write, flat, False)
+                for handler in ev_admit:
+                    handler(event)
         if admitted:
-            self._sched_epoch += 1
+            sched.epoch += 1
 
     def _run(self, t_limit: int, stop_on_read: bool) -> None:
         stats = self.stats
@@ -546,22 +592,31 @@ class MemoryController:
         in_flight = self._in_flight
         if in_flight and in_flight[0][0] <= now:
             self._collect_finished(now)
-        if self.watchdog is not None:
+        heartbeat = self._ev_heartbeat
+        if heartbeat:
             # Sampling is lossless: the watermark derives from the
             # monotonic last-command cycle, and queues only drain by
             # issuing commands, so skipped steps cannot hide progress.
             self._watchdog_countdown -= 1
             if self._watchdog_countdown <= 0:
                 self._watchdog_countdown = _WATCHDOG_STRIDE
-                self.watchdog.observe(self)
+                event = SchedulerHeartbeat(
+                    now,
+                    self._last_cmd_issue,
+                    len(self._read_queue) + len(self._write_buffer),
+                    self,
+                )
+                for handler in heartbeat:
+                    handler(event)
 
+        refresh = self._refresh
         # 1. Refresh in progress: nothing can issue.
-        if now < self._refresh_until:
-            return self._advance_to(self._refresh_until, t_limit)
+        if now < refresh.until:
+            return self._advance_to(refresh.until, t_limit)
 
         # 2. Refresh due: precharge all and refresh.
-        if now >= self._next_refresh_due:
-            self._do_refresh()
+        if now >= refresh.next_due:
+            refresh.perform(now)
             return True
 
         # 3. Scheduling decision: cached while no admission/issue/refresh
@@ -569,21 +624,42 @@ class MemoryController:
         # `_plan_entry` instance-dict check keeps fault injections that
         # monkeypatch the planner (reliability drills) on the recompute
         # path even if they were installed after a plan was cached.
+        sched = self._sched
         if (
-            self._plan_epoch == self._sched_epoch
-            and now < self._plan_valid_until
+            sched.plan_epoch == sched.epoch
+            and now < sched.plan_valid_until
             and "_plan_entry" not in self.__dict__
         ):
-            best = self._plan
-            write_mode = self._plan_write_mode
+            best = sched.plan
+            write_mode = sched.plan_write_mode
         else:
-            best, write_mode = self._compute_plan()
+            # _compute_plan, inlined (hot path): the drain policy picks
+            # the active queue, the scheduler derives the decision.
+            wbuf = self._write_buffer
+            drain = self._drain
+            if not drain.draining and not wbuf.queue:
+                # Empty, idle write buffer: the drain update would be a
+                # no-op returning False (occupancy 0 is below every
+                # watermark), so skip the call.
+                write_mode = False
+            else:
+                write_mode = drain.update(
+                    now, len(wbuf.queue), bool(self._read_queue)
+                )
+            queue = wbuf.queue if write_mode else self._read_queue
+            if self._fast_engine and "_plan_entry" not in self.__dict__:
+                best = sched.decide(now, write_mode, queue)
+            else:
+                best = sched.reference_plan(queue, write_mode)
+                sched.plan = best
+                sched.plan_write_mode = write_mode
+                sched.invalidate()  # never reused: re-plan next step
 
         next_arrival = arrivals[0][0] if arrivals else FAR_FUTURE
         if best is None:
             # Nothing schedulable. Either data is in flight (pipeline
             # draining — a channel-scope constraint) or truly idle.
-            wake = min(next_arrival, self._next_refresh_due)
+            wake = min(next_arrival, refresh.next_due)
             if in_flight:
                 wake = min(wake, in_flight[0][0])
                 end = min(wake, t_limit)
@@ -619,15 +695,15 @@ class MemoryController:
             wake = issue_at
             if next_arrival < wake:
                 wake = next_arrival
-            refresh_due = self._next_refresh_due
+            refresh_due = refresh.next_due
             if refresh_due < wake:
                 wake = refresh_due
             end = wake if wake < t_limit else t_limit
             if end > now:
-                block = self._plan_block
+                block = sched.plan_block
                 if block is None:
-                    block = self._block_info(entry, cmd_type, coords, issue_at)
-                    self._plan_block = block
+                    block = sched.block_info(entry, cmd_type, coords, issue_at)
+                    sched.plan_block = block
                 bg = coords.bank_group if coords is not None else -1
                 # Extend the previous window in place when contiguous
                 # with an identical payload (windows are disjoint and
@@ -658,8 +734,8 @@ class MemoryController:
                 next_arrival > issue_at
                 and refresh_due > issue_at
                 and issue_at < t_limit
-                and issue_at < self._plan_valid_until
-                and self._plan_epoch == self._sched_epoch
+                and issue_at < sched.plan_valid_until
+                and sched.plan_epoch == sched.epoch
                 and not (
                     stop_on_read
                     and self._in_flight
@@ -674,388 +750,22 @@ class MemoryController:
         self._issue(entry, cmd_type, coords, write_mode)
         return True
 
-    def _compute_plan(self) -> tuple[tuple | None, bool]:
-        """Derive the scheduling decision and refresh the plan cache.
-
-        Returns ``(best, write_mode)`` where `best` is the winning
-        ``(key, entry, cmd_type, coords)`` candidate or None when nothing
-        is schedulable. The fast engine fuses candidate selection and
-        timing into one scan and records a validity horizon; the
-        reference engine (and any instance with a patched ``_plan_entry``)
-        re-plans every step through the original per-entry path.
-        """
-        now = self.now
-        wbuf = self._write_buffer
-        if not wbuf.draining and not wbuf.queue:
-            # Empty, idle write buffer: update_drain_mode would be a
-            # no-op returning False (occupancy 0 is below every
-            # watermark), so skip the call on this hot path.
-            write_mode = False
-        else:
-            write_mode = wbuf.update_drain_mode(now, bool(self._read_queue))
-        queue = wbuf.queue if write_mode else self._read_queue
-        if not self._fast_engine or "_plan_entry" in self.__dict__:
-            best = self._reference_plan(queue, write_mode)
-            self._plan = best
-            self._plan_epoch = -1  # never reused: re-plan next step
-            self._plan_write_mode = write_mode
-            self._plan_block = None
-            self._dirty_read.clear()
-            self._dirty_write.clear()
-            return best, write_mode
-
-        banks = self._banks
-        ranks = self._ranks
-        min_cmd_time = self._last_cmd_issue + 1
-        horizon = FAR_FUTURE
-
-        if self._fcfs:
-            entry = queue.oldest()
-            best = (
-                self._plan_entry(entry, write_mode)
-                if entry is not None
-                else None
-            )
-            if self._closed_page:
-                open_rows = [b.open_row for b in banks]
-                for cand in self._plan_policy_precharges(open_rows):
-                    if best is None or cand[0] < best[0]:
-                        best = cand
-            self._plan = best
-            self._plan_epoch = self._sched_epoch
-            self._plan_timing_epoch = self._timing_epoch
-            self._plan_valid_until = horizon
-            self._plan_write_mode = write_mode
-            self._plan_block = None
-            self._dirty_read.clear()
-            self._dirty_write.clear()
-            return best, write_mode
-
-        # Fused FR-FCFS scan: candidate selection (per-bank queue heads
-        # with the row-hit index) and timing evaluation in one pass over
-        # the banks with pending work. Keys and tie-breaks are exactly
-        # _plan_entry's (time, priority, req_id); the rank-wide timing
-        # terms are hoisted out of the loop via *_scan_state since they
-        # are identical for every candidate of a rank. The starvation
-        # horizon mirrors RequestQueue.select_candidates.
-        cap = self._cap
-        tCCD_L = self._tCCD_L
-        tWTR_L = self._tWTR_L
-        tRRD_L = self._tRRD_L
-        cas_kind = _CAS_WRITE if write_mode else _CAS_READ
-        cas_states: list = [None] * len(ranks)
-        act_states: list = [None] * len(ranks)
-        bank_fifo = queue._bank_fifo
-        by_row = queue._by_row
-        best_time = best_prio = best_tie = None
-        best_entry = best_kind = best_coords = None
-        cache = self._cand_write if write_mode else self._cand_read
-        scan_banks = queue._active_banks
-        incremental = False
-        changed = False
-        # Incremental repair: when nothing changed command timing since
-        # the cached plan (same timing epoch — only admissions bumped
-        # the scheduling epoch), every previously planned candidate's
-        # effective issue time is unchanged (its clamp floor `now` is
-        # still below the blocked plan's issue time, and rank/bank gates
-        # only move on issue/refresh). New arrivals can therefore only
-        # displace the winner directly: seed the scan with the cached
-        # best and visit just the admitted banks. Policy precharges are
-        # skipped — admissions only ever *remove* them, and surviving
-        # ones keep losing on (time, priority). If the winner's own bank
-        # was admitted to, its selection may have changed, so fall back
-        # to a full scan.
-        if (
-            self._plan_timing_epoch == self._timing_epoch
-            and self._plan_epoch >= 0
-            and self._plan_write_mode == write_mode
-            and now < self._plan_valid_until
-        ):
-            dirty = self._dirty_write if write_mode else self._dirty_read
-            old_best = self._plan
-            if old_best is None:
-                incremental = True
-            else:
-                old_entry = old_best[1]
-                if old_entry is None:
-                    # Policy precharge: admissions to *either* queue can
-                    # remove it (its bank's open row must stay free of
-                    # pending requests in both), so check both lists.
-                    old_flat = old_best[3].flat
-                    if (
-                        old_flat not in self._dirty_read
-                        and old_flat not in self._dirty_write
-                    ):
-                        incremental = True
-                elif old_entry.flat_bank not in dirty:
-                    incremental = True
-            if incremental:
-                if old_best is not None:
-                    best_time, best_prio, best_tie = old_best[0]
-                    best_entry = old_best[1]
-                    best_kind = old_best[2]
-                    best_coords = old_best[3]
-                horizon = self._plan_valid_until
-                scan_banks = set(dirty)
-        for flat in scan_banks:
-            cached = cache[flat]
-            if (
-                cached is not None
-                and now < cached[2]
-                and not cached[0].served
-            ):
-                entry, kcode, flip, bank_time, coords, bg, tie = cached
-                if flip < horizon:
-                    horizon = flip
-            else:
-                fifo = bank_fifo[flat]
-                oldest = None
-                while fifo:
-                    head = fifo[0]
-                    if head.served:
-                        fifo.popleft()
-                    else:
-                        oldest = head
-                        break
-                if oldest is None:
-                    continue
-                bank = banks[flat]
-                row = bank.open_row
-                entry = None
-                flip = FAR_FUTURE
-                if row is not None and now - oldest.request.arrival <= cap:
-                    rows = by_row[flat]
-                    rfifo = rows.get(row)
-                    if rfifo is not None:
-                        while rfifo:
-                            head = rfifo[0]
-                            if head.served:
-                                rfifo.popleft()
-                            else:
-                                entry = head
-                                break
-                        if entry is None:
-                            del rows[row]
-                    if entry is not None and entry is not oldest:
-                        flip = oldest.request.arrival + cap + 1
-                        if flip < horizon:
-                            horizon = flip
-                if entry is None:
-                    entry = oldest
-                coords = entry.coords
-                bg = coords.bank_group
-                if row == coords.row:
-                    kcode = 0
-                    bank_time = bank.next_cas
-                elif row is None:
-                    kcode = 1
-                    bank_time = bank.next_act
-                else:
-                    kcode = 2
-                    bank_time = bank.next_pre
-                tie = entry.request.req_id
-                cache[flat] = (
-                    entry, kcode, flip, bank_time, coords, bg, tie
-                )
-            if kcode == 0:
-                rk = coords.rank
-                state = cas_states[rk]
-                if state is None:
-                    state = cas_states[rk] = ranks[rk].cas_scan_state(
-                        write_mode
-                    )
-                time, cas_groups, wdata_groups = state
-                gate = cas_groups[bg] + tCCD_L
-                if gate > time:
-                    time = gate
-                if wdata_groups is not None:
-                    gate = wdata_groups[bg] + tWTR_L
-                    if gate > time:
-                        time = gate
-                if bank_time > time:
-                    time = bank_time
-                kind = cas_kind
-                priority = 0
-            elif kcode == 1:
-                rk = coords.rank
-                state = act_states[rk]
-                if state is None:
-                    state = act_states[rk] = ranks[rk].act_scan_state()
-                time, act_groups = state
-                gate = act_groups[bg] + tRRD_L
-                if gate > time:
-                    time = gate
-                if bank_time > time:
-                    time = bank_time
-                kind = _ACT
-                priority = 1
-            else:
-                time = bank_time
-                kind = _PRE
-                priority = 2
-            if time < now:
-                time = now
-            if time < min_cmd_time:
-                time = min_cmd_time
-            if (
-                best_time is None
-                or time < best_time
-                or (
-                    time == best_time
-                    and (
-                        priority < best_prio
-                        or (priority == best_prio and tie < best_tie)
-                    )
-                )
-            ):
-                best_time = time
-                best_prio = priority
-                best_tie = tie
-                best_entry = entry
-                best_kind = kind
-                best_coords = coords
-                changed = True
-        if self._closed_page and not incremental:
-            open_rows = [b.open_row for b in banks]
-            for cand in self._plan_policy_precharges(open_rows):
-                time, priority, tie = cand[0]
-                if (
-                    best_time is None
-                    or time < best_time
-                    or (
-                        time == best_time
-                        and (
-                            priority < best_prio
-                            or (priority == best_prio and tie < best_tie)
-                        )
-                    )
-                ):
-                    best_time = time
-                    best_prio = priority
-                    best_tie = tie
-                    __, best_entry, best_kind, best_coords = cand
-
-        if incremental and not changed:
-            # Winner survived: keep the cached plan object (and its
-            # lazily derived block info, which only depends on the
-            # winner and the unchanged timing state).
-            best = self._plan
-        else:
-            best = (
-                None
-                if best_time is None
-                else (
-                    (best_time, best_prio, best_tie),
-                    best_entry, best_kind, best_coords,
-                )
-            )
-            self._plan = best
-            self._plan_block = None
-        self._plan_epoch = self._sched_epoch
-        self._plan_timing_epoch = self._timing_epoch
-        self._plan_valid_until = horizon
-        self._plan_write_mode = write_mode
-        self._dirty_read.clear()
-        self._dirty_write.clear()
-        return best, write_mode
-
-    def _reference_plan(self, queue, write_mode: bool) -> tuple | None:
-        """Plan one step the unmemoized way (the differential oracle)."""
-        open_rows = [b.open_row for b in self._banks]
-        best: tuple | None = None
-        for entry in queue.candidates(
-            open_rows, self.config.scheduling, self.now,
-            self.config.starvation_cap,
-        ):
-            cand = self._plan_entry(entry, write_mode)
-            if best is None or cand[0] < best[0]:
-                best = cand
-        if self.config.page_policy == "closed":
-            for cand in self._plan_policy_precharges(open_rows):
-                if best is None or cand[0] < best[0]:
-                    best = cand
-        return best
-
     # ------------------------------------------------------------------
     def _plan_entry(self, entry: QueuedRequest, write_mode: bool) -> tuple:
-        """Compute (sort_key, entry, command, coords) for a request.
+        """Reference ``(sort_key, entry, command, coords)`` for a request.
 
-        The sort key orders candidates by earliest issue time, then prefers
-        data-moving commands and row hits (FR-FCFS), then age. Binding-
-        constraint details are derived lazily by :meth:`_block_info` only
-        when the chosen candidate actually has to wait.
+        Delegates to the scheduler component. Kept as a controller
+        method because it is the documented fault-injection patch point
+        (:func:`repro.reliability.faults.force_stall` replaces it in the
+        instance dict; the plan-cache guards check for exactly that).
         """
-        bank = self._banks[entry.flat_bank]
-        coords = entry.coords
-        rank = self._ranks[coords.rank]
-        now = self.now
-        min_cmd_time = self._last_cmd_issue + 1
-        if bank.open_row == coords.row:
-            is_write = entry.request.is_write
-            time = rank.earliest_cas_time(
-                now, coords.bank_group, is_write
-            )
-            if bank.next_cas > time:
-                time = bank.next_cas
-            kind = CommandType.WRITE if is_write else CommandType.READ
-            priority = 0
-        elif bank.open_row is None:
-            time = rank.earliest_act_time(now, coords.bank_group)
-            if bank.next_act > time:
-                time = bank.next_act
-            kind = CommandType.ACTIVATE
-            priority = 1
-        else:
-            time = bank.next_pre if bank.next_pre > now else now
-            kind = CommandType.PRECHARGE
-            priority = 2
-        if min_cmd_time > time:
-            time = min_cmd_time
-        return ((time, priority, entry.arrival_order), entry, kind, coords)
+        return self._sched.plan_entry(entry, write_mode)
 
     def _block_info(
         self, entry, cmd_type: CommandType, coords, issue_at: int
-    ) -> Block:
+    ):
         """Binding constraint for a candidate that must wait."""
-        if entry is None:
-            return Block(issue_at, BlockScope.BANK, "auto_precharge")
-        bank = self._banks[entry.flat_bank]
-        if cmd_type is CommandType.PRECHARGE:
-            return Block(issue_at, BlockScope.BANK, "tRAS/tWR/tRTP")
-        rank = self._ranks[coords.rank]
-        if cmd_type is CommandType.ACTIVATE:
-            if bank.next_act >= issue_at:
-                return Block(issue_at, BlockScope.BANK, "tRP")
-            return rank.earliest_act(self.now, coords.bank_group)
-        if bank.next_cas >= issue_at:
-            return Block(issue_at, BlockScope.BANK, "tRCD")
-        return rank.earliest_cas(
-            self.now, coords.bank_group, entry.request.is_write
-        )
-
-    def _plan_policy_precharges(self, open_rows: list[int | None]) -> list[tuple]:
-        """Closed-page policy: precharge banks whose open row has no
-        pending requests. Returns candidates shaped like _plan_entry's."""
-        result = []
-        min_cmd_time = self._last_cmd_issue + 1
-        for flat, row in enumerate(open_rows):
-            if row is None:
-                continue
-            if self._read_queue.has_request_for_row(flat, row):
-                continue
-            if self._write_buffer.queue.has_request_for_row(flat, row):
-                continue
-            bank = self._banks[flat]
-            time = max(self.now, bank.next_pre, min_cmd_time)
-            # Priority 3: never displaces a data command ready at the
-            # same cycle.
-            key = (time, 3, flat)
-            rank = flat // self.spec.organization.banks
-            result.append((
-                key, None, CommandType.PRECHARGE,
-                _BankCoords(flat, bank, rank),
-            ))
-        return result
+        return self._sched.block_info(entry, cmd_type, coords, issue_at)
 
     # ------------------------------------------------------------------
     def _issue(
@@ -1068,11 +778,15 @@ class MemoryController:
         """Issue `cmd_type` at the current cycle."""
         t = self.now
         self._last_cmd_issue = t
-        self._sched_epoch += 1
-        self._timing_epoch += 1
         flat = coords.flat if entry is None else entry.flat_bank
-        self._cand_read[flat] = None
-        self._cand_write[flat] = None
+        # note_issue inlined (hot path): timing moved, the plan and the
+        # bank's candidate slots are stale.
+        sched = self._sched
+        sched.epoch += 1
+        sched.timing_epoch += 1
+        sched.cand_read[flat] = None
+        sched.cand_write[flat] = None
+        ev_command = self._ev_command
         if entry is None:
             # Policy precharge: nothing is waiting for this bank.
             bank = coords.bank
@@ -1082,6 +796,13 @@ class MemoryController:
                 self._record_command(
                     cmd_type, t, coords.bank_group, bank, rank=coords.rank
                 )
+            if ev_command:
+                event = CommandIssued(
+                    t, cmd_type.name, flat, coords.bank_group,
+                    coords.rank, -1, -1,
+                )
+                for handler in ev_command:
+                    handler(event)
             return
 
         bank = self._banks[entry.flat_bank]
@@ -1133,6 +854,13 @@ class MemoryController:
                 cmd_type, t, coords.bank_group,
                 bank, row=coords.row, req_id=req.req_id, rank=coords.rank,
             )
+        if ev_command:
+            event = CommandIssued(
+                t, cmd_type.name, entry.flat_bank, coords.bank_group,
+                coords.rank, coords.row, req.req_id,
+            )
+            for handler in ev_command:
+                handler(event)
 
     def _record_command(
         self, cmd_type: CommandType, t: int, bank_group: int, bank: Bank,
@@ -1150,54 +878,10 @@ class MemoryController:
             req_id=req_id,
         ))
 
-    def _do_refresh(self) -> None:
-        """Precharge all banks and hold the rank in refresh for tRFC."""
-        spec = self.spec
-        self._sched_epoch += 1
-        self._timing_epoch += 1
-        total_banks = len(self._banks)
-        self._cand_read = [None] * total_banks
-        self._cand_write = [None] * total_banks
-        t_ready = self.now
-        any_open = False
-        for bank in self._banks:
-            t_ready = max(t_ready, bank.cas_data_until)
-            if bank.is_open:
-                any_open = True
-                t_ready = max(t_ready, bank.next_pre)
-        t_ready = max(t_ready, self._bus.free_at)
-        if any_open:
-            t_pre = t_ready
-            for bank in self._banks:
-                if bank.is_open:
-                    bank.do_precharge(t_pre)
-                    self.stats.precharges += 1
-            self._record_command(
-                CommandType.PRECHARGE_ALL, t_pre, -1, self._banks[0]
-            )
-            t_ref = t_pre + spec.tRP
-        else:
-            t_ref = t_ready
-        refresh_end = t_ref + spec.tRFC
-        self.log.refresh_windows.append((t_ref, refresh_end))
-        for bank in self._banks:
-            bank.next_act = max(bank.next_act, refresh_end)
-            bank.force_close_for_refresh()
-        self._refresh_until = refresh_end
-        self._next_refresh_due += spec.tREFI
-        self.stats.refreshes += 1
-        self._record_command(
-            CommandType.REFRESH, t_ref, -1, self._banks[0]
-        )
-        # The implicit precharge-all ahead of REF is part of the refresh
-        # sequence; its per-bank timing was applied above.
-
-
-class _BankCoords:
-    """Adapter so policy-precharge candidates look like request candidates."""
-
-    def __init__(self, flat: int, bank: Bank, rank: int = 0) -> None:
-        self.bank_group = bank.bank_group
-        self.bank = bank
-        self.flat = flat
-        self.rank = rank
+    def _publish_refresh(self, start: int, end: int) -> None:
+        """Publish a :class:`RefreshStarted` window to bus subscribers."""
+        handlers = self._ev_refresh
+        if handlers:
+            event = RefreshStarted(start, end)
+            for handler in handlers:
+                handler(event)

@@ -4,12 +4,24 @@ The paper builds one stack per memory controller/channel and aggregates
 afterwards (Sec. IV). :class:`MemorySystem` routes requests to channels by
 address (cache-line channel interleaving), exposes one combined clock, and
 aggregates per-channel stacks.
+
+The run/drain/pending forwarding lives in the shared
+:class:`~repro.core.interfaces.CompositeMemory` base (the same contract
+a single :class:`~repro.dram.controller.MemoryController` satisfies via
+:class:`~repro.core.interfaces.MemoryInterface`), so the single- and
+multi-channel paths cannot drift. All channels publish their online
+events on one shared :class:`~repro.core.events.EventBus`
+(:attr:`MemorySystem.events`); per-channel subscribers can instead use
+``system.channels[i].events`` — the same bus object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
+from repro.core.events import EventBus
+from repro.core.interfaces import CompositeMemory
 from repro.dram.commands import Request
 from repro.dram.controller import ControllerConfig, MemoryController
 from repro.errors import ConfigurationError
@@ -32,19 +44,26 @@ class MemorySystemConfig:
             )
 
 
-class MemorySystem:
+class MemorySystem(CompositeMemory):
     """N interleaved memory channels behaving as one memory subsystem."""
 
     def __init__(self, config: MemorySystemConfig | None = None) -> None:
         self.config = config or MemorySystemConfig()
+        #: Shared event bus: every channel publishes here.
+        self.events = EventBus()
         self.controllers = [
-            MemoryController(self.config.controller)
+            MemoryController(self.config.controller, bus=self.events)
             for _ in range(self.config.channels)
         ]
         self.spec = self.controllers[0].spec
         line = self.spec.organization.line_bytes
         self._channel_shift = line.bit_length() - 1
         self._channel_mask = self.config.channels - 1
+
+    @property
+    def channels(self) -> Sequence[MemoryController]:
+        """The per-channel controllers, in channel order."""
+        return self.controllers
 
     # ------------------------------------------------------------------
     def channel_of(self, address: int) -> int:
@@ -54,37 +73,6 @@ class MemorySystem:
     def enqueue(self, request: Request) -> None:
         """Route a request to its channel."""
         self.controllers[self.channel_of(request.address)].enqueue(request)
-
-    @property
-    def now(self) -> int:
-        """The latest channel clock."""
-        return max(mc.now for mc in self.controllers)
-
-    @property
-    def pending_requests(self) -> int:
-        """Requests outstanding across all channels."""
-        return sum(mc.pending_requests for mc in self.controllers)
-
-    def run_until(self, t_limit: int) -> list[Request]:
-        """Advance every channel to `t_limit`; returns completions."""
-        done: list[Request] = []
-        for mc in self.controllers:
-            done.extend(mc.run_until(t_limit))
-        done.sort(key=lambda r: r.finish)
-        return done
-
-    def drain(self) -> list[Request]:
-        """Run all channels until empty; returns completions."""
-        done: list[Request] = []
-        for mc in self.controllers:
-            done.extend(mc.drain())
-        done.sort(key=lambda r: r.finish)
-        return done
-
-    def finalize(self) -> None:
-        """Close accounting windows on every channel."""
-        for mc in self.controllers:
-            mc.finalize()
 
     # ------------------------------------------------------------------
     # Reliability hooks
@@ -109,11 +97,6 @@ class MemorySystem:
             watchdogs.append(watchdog)
         return watchdogs
 
-    @property
-    def queued_requests(self) -> int:
-        """Requests admitted but unserved, across all channels."""
-        return sum(mc.queued_requests for mc in self.controllers)
-
     def stall_snapshots(self) -> dict[int, dict]:
         """Per-channel scheduling diagnostics (see `stall_snapshot`)."""
         return {
@@ -131,11 +114,7 @@ class MemorySystem:
 
         The total equals the system peak (channels x per-channel peak).
         """
-        accountant = BandwidthStackAccountant(self.spec)
-        stacks = [
-            accountant.account(mc.log, total_cycles, f"{label} ch{i}")
-            for i, mc in enumerate(self.controllers)
-        ]
+        stacks = self.per_channel_bandwidth_stacks(total_cycles, label)
         combined = stacks[0]
         for stack in stacks[1:]:
             combined = combined + stack
@@ -145,25 +124,41 @@ class MemorySystem:
     def per_channel_bandwidth_stacks(
         self, total_cycles: int, label: str = ""
     ) -> list[Stack]:
-        """One bandwidth stack per channel."""
+        """One bandwidth stack per channel, from that channel's tap."""
         accountant = BandwidthStackAccountant(self.spec)
         return [
             accountant.account(mc.log, total_cycles, f"{label} ch{i}")
             for i, mc in enumerate(self.controllers)
         ]
 
+    def per_channel_latency_stacks(
+        self, base_controller_cycles: int = 0, label: str = ""
+    ) -> list[Stack]:
+        """One latency stack per channel (channels with no reads get an
+        empty stack so indices still line up with :attr:`channels`)."""
+        accountant = LatencyStackAccountant(self.spec, base_controller_cycles)
+        stacks = []
+        for i, mc in enumerate(self.controllers):
+            reads = self._latency_reads(mc)
+            stacks.append(accountant.account(
+                reads, mc.log.refresh_windows, mc.log.drain_windows,
+                f"{label} ch{i}",
+            ))
+        return stacks
+
     def latency_stack(
         self, base_controller_cycles: int = 0, label: str = ""
     ) -> Stack:
-        """Latency stack over the reads of all channels."""
+        """Latency stack over the reads of all channels.
+
+        Per-channel stacks are averaged weighted by each channel's read
+        count, so the combined stack is the mean over all reads.
+        """
         accountant = LatencyStackAccountant(self.spec, base_controller_cycles)
         stacks = []
         weights = []
         for mc in self.controllers:
-            reads = [
-                r for r in mc.completed_requests
-                if r.is_read and not r.is_prefetch and not r.forwarded
-            ]
+            reads = self._latency_reads(mc)
             if not reads:
                 continue
             stacks.append(accountant.account(
@@ -178,3 +173,11 @@ class MemorySystem:
             combined = combined + stack.scaled(weight / total)
         combined.label = label
         return combined
+
+    @staticmethod
+    def _latency_reads(mc: MemoryController) -> list[Request]:
+        """The reads a latency stack accounts (demand, served by DRAM)."""
+        return [
+            r for r in mc.completed_requests
+            if r.is_read and not r.is_prefetch and not r.forwarded
+        ]

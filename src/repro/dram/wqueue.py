@@ -1,11 +1,12 @@
-"""Write buffer with watermark-based burst draining.
+"""Write buffer with pluggable burst draining.
 
 Writes are buffered in the memory controller so reads, which stall cores,
-can be prioritized. The buffer drains in bursts: a *forced* drain begins
-when occupancy reaches the high watermark and runs until the low watermark,
-during which reads are not scheduled (the paper's ``writeburst`` latency
-component). Writes are also issued *opportunistically* whenever no reads
-are pending.
+can be prioritized. The buffer drains in bursts under a
+:class:`~repro.core.interfaces.WriteDrainPolicy` (default: the paper's
+watermark policy — a *forced* drain begins when occupancy reaches the
+high watermark and runs until the low watermark, during which reads are
+not scheduled; the paper's ``writeburst`` latency component). Writes are
+also issued *opportunistically* whenever no reads are pending.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.dram.address import Coordinates
 from repro.dram.commands import Request
+from repro.dram.components.draining import WatermarkDrainPolicy
 from repro.dram.scheduler import QueuedRequest, RequestQueue
 from repro.errors import ConfigurationError
 
@@ -54,21 +56,31 @@ class WriteQueueConfig:
 
 
 class WriteBuffer:
-    """Buffered writes plus drain-mode state machine."""
+    """Buffered writes plus a delegated drain-mode state machine.
 
-    def __init__(self, config: WriteQueueConfig, num_banks: int) -> None:
+    The drain state machine lives in the injected `drain_policy`
+    (default: :class:`~repro.dram.components.draining.WatermarkDrainPolicy`);
+    the buffer keeps thin delegating wrappers (:attr:`draining`,
+    :meth:`update_drain_mode`, :meth:`finalize`, :attr:`drain_windows`)
+    so existing callers and tests keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        config: WriteQueueConfig,
+        num_banks: int,
+        drain_policy=None,
+    ) -> None:
         self.config = config
-        # Watermark entry counts, hoisted off the config properties (the
-        # drain state machine runs once per scheduling decision).
-        self._high_entries = config.high_entries
-        self._low_entries = config.low_entries
+        self.drain_policy = (
+            drain_policy if drain_policy is not None
+            else WatermarkDrainPolicy(config)
+        )
         self.queue = RequestQueue(num_banks)
         self._addresses: dict[int, int] = {}
-        self.draining = False
         #: Completed forced-drain windows [(start, end)], for accounting.
-        self.drain_windows: list[tuple[int, int]] = []
-        self._drain_start = -1
-        self.stats_forced_drains = 0
+        #: Shared by reference with the drain policy's window list.
+        self.drain_windows = self.drain_policy.windows
         self.stats_writes_buffered = 0
         self.stats_forwarded_reads = 0
 
@@ -79,6 +91,16 @@ class WriteBuffer:
     def is_full(self) -> bool:
         """Whether the buffer is at capacity."""
         return len(self.queue) >= self.config.capacity
+
+    @property
+    def draining(self) -> bool:
+        """Whether a forced drain is in progress."""
+        return self.drain_policy.draining
+
+    @property
+    def stats_forced_drains(self) -> int:
+        """Forced drains triggered so far."""
+        return self.drain_policy.stats_forced_drains
 
     def add(self, request: Request, coords: Coordinates, flat_bank: int) -> QueuedRequest:
         """Buffer a write."""
@@ -110,29 +132,9 @@ class WriteBuffer:
     # Drain-mode state machine, consulted once per scheduling decision.
     # ------------------------------------------------------------------
     def update_drain_mode(self, now: int, reads_pending: bool) -> bool:
-        """Advance the drain state machine; returns True while draining.
-
-        A forced drain starts at the high watermark and ends at the low
-        watermark. The forced-drain window is recorded for the
-        ``writeburst`` latency attribution.
-        """
-        occupancy = len(self.queue)
-        if self.draining:
-            if occupancy <= self._low_entries:
-                self.draining = False
-                self.drain_windows.append((self._drain_start, now))
-                self._drain_start = -1
-        elif occupancy >= self._high_entries:
-            self.draining = True
-            self._drain_start = now
-            self.stats_forced_drains += 1
-        # Opportunistic: issue writes while no reads are pending, without
-        # entering (or recording) a forced drain.
-        return self.draining or (occupancy > 0 and not reads_pending)
+        """Advance the drain state machine; returns True while draining."""
+        return self.drain_policy.update(now, len(self.queue), reads_pending)
 
     def finalize(self, now: int) -> None:
         """Close an in-progress drain window at end of simulation."""
-        if self.draining and self._drain_start >= 0:
-            self.drain_windows.append((self._drain_start, now))
-            self._drain_start = -1
-            self.draining = False
+        self.drain_policy.finalize(now)

@@ -92,11 +92,17 @@ def paper_system(
     gap: bool = False,
     hierarchy: HierarchyConfig | None = None,
     core: CoreConfig | None = None,
+    scheduling: str = "fr-fcfs",
 ) -> SystemConfig:
     """The paper's setup: DDR4-2400, FR-FCFS, Skylake-like cores.
 
     `gap=True` selects the proportionally scaled cache hierarchy used
     with the scaled-down graphs (see :func:`gap_hierarchy`).
+
+    `page_policy` and `scheduling` accept any name registered in
+    :data:`repro.dram.components.PAGE_POLICIES` /
+    :data:`repro.dram.components.SCHEDULERS`, including custom
+    components registered by the caller.
 
     Every knob is validated eagerly here (naming the bad field) so a
     sweep over many points fails at construction, not mid-run.
@@ -119,6 +125,7 @@ def paper_system(
         hierarchy = gap_hierarchy() if gap else HierarchyConfig()
     memory = ControllerConfig(
         page_policy=page_policy,
+        scheduling=scheduling,
         address_scheme=address_scheme,
         write_queue=WriteQueueConfig(capacity=write_queue_capacity),
     )

@@ -57,6 +57,7 @@ def run_synthetic(
     write_queue_capacity: int = 32,
     label: str = "",
     guard=None,
+    scheduling: str = "fr-fcfs",
 ) -> SimulationResult:
     """Run one synthetic configuration through the full pipeline.
 
@@ -75,6 +76,7 @@ def run_synthetic(
     config = paper_system(
         cores=cores,
         page_policy=page_policy,
+        scheduling=scheduling,
         address_scheme=address_scheme,
         write_queue_capacity=write_queue_capacity,
         gap=True,
@@ -97,6 +99,7 @@ def run_gap(
     graph=None,
     seed: int = 42,
     guard=None,
+    scheduling: str = "fr-fcfs",
 ) -> tuple[SimulationResult, GapWorkload]:
     """Run one GAP kernel configuration; returns (result, workload).
 
@@ -119,6 +122,7 @@ def run_gap(
     config = paper_system(
         cores=cores,
         page_policy=page_policy,
+        scheduling=scheduling,
         address_scheme=address_scheme,
         write_queue_capacity=write_queue_capacity,
         gap=True,

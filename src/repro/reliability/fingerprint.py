@@ -51,6 +51,37 @@ def event_log_digest(log) -> str:
     return h.hexdigest()
 
 
+def memory_log_digests(memory) -> list[str]:
+    """Per-channel event-log digests of a memory subsystem.
+
+    Accepts either a single :class:`~repro.dram.controller.MemoryController`
+    (one digest) or a multi-channel
+    :class:`~repro.dram.system.MemorySystem` (one digest per channel, in
+    channel order). The multi-channel golden tests commit these lists so
+    a change that shifts work between channels is caught even when the
+    aggregate stacks happen to agree.
+    """
+    log = getattr(memory, "log", None)
+    if log is not None:
+        return [event_log_digest(log)]
+    return [event_log_digest(mc.log) for mc in memory.channels]
+
+
+def combined_log_digest(memory) -> str:
+    """One digest covering every channel of a memory subsystem.
+
+    For a single controller this equals :func:`event_log_digest` of its
+    log, so existing single-channel fixtures stay valid.
+    """
+    digests = memory_log_digests(memory)
+    if len(digests) == 1:
+        return digests[0]
+    h = hashlib.sha256()
+    for digest in digests:
+        h.update(digest.encode())
+    return h.hexdigest()
+
+
 def result_fingerprint(result) -> dict:
     """Full fingerprint of a :class:`~repro.cpu.system.SimulationResult`.
 
@@ -70,7 +101,7 @@ def result_fingerprint(result) -> dict:
     accounting, not an approximate one.
     """
     fp = {
-        "event_log": event_log_digest(result.memory.log),
+        "event_log": combined_log_digest(result.memory),
         "bandwidth": [
             [name, value]
             for name, value in result.bandwidth_stack().as_rows()

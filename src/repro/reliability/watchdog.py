@@ -8,9 +8,12 @@ served). The watchdog turns that into a
 :class:`StallDiagnostic`: queue contents, per-bank state and the timing
 constraint blocking each scheduling candidate.
 
-The controller calls :meth:`ForwardProgressWatchdog.observe` once per
-scheduling step; the check is two integer comparisons in the healthy
-case, so it is safe to leave enabled for every run.
+The watchdog rides the controller's event bus: attaching it
+(``controller.attach_watchdog``) subscribes :meth:`on_heartbeat` to
+:class:`~repro.core.events.SchedulerHeartbeat`, published every ~32
+scheduling steps while anyone listens. The check is two integer
+comparisons in the healthy case, so it is safe to leave enabled for
+every run.
 """
 
 from __future__ import annotations
@@ -107,6 +110,11 @@ class ForwardProgressWatchdog:
     def reset(self) -> None:
         """Forget accumulated silence (e.g. after an external repair)."""
         self._watermark = 0
+
+    def on_heartbeat(self, event) -> None:
+        """Event-bus handler for
+        :class:`~repro.core.events.SchedulerHeartbeat`."""
+        self.observe(event.controller)
 
     def observe(self, controller) -> None:
         """One scheduling-step heartbeat; raises on a detected stall.

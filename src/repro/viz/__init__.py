@@ -13,10 +13,13 @@ from repro.viz.export import (
     stacks_to_csv,
     stacks_to_json,
 )
+from repro.viz.live import LiveUtilizationMeter, UtilizationSample
 from repro.viz.palette import color_for
 from repro.viz.svg import stacked_area_svg, stacked_bars_svg
 
 __all__ = [
+    "LiveUtilizationMeter",
+    "UtilizationSample",
     "color_for",
     "render_stack_table",
     "render_stacks",

@@ -33,13 +33,20 @@ FIXTURES = Path(__file__).parent / "fixtures"
 def golden(request):
     """Compare (or regenerate) a named golden fingerprint.
 
-    Usage: ``golden("scenario-name", result)``. Returns the actual
-    fingerprint so tests can make additional assertions on it.
+    Usage: ``golden("scenario-name", result)``. `result` is either a
+    :class:`~repro.cpu.system.SimulationResult` (fingerprinted via
+    :func:`result_fingerprint`) or a prebuilt fingerprint dict (e.g. the
+    multi-channel tests fingerprint a bare :class:`MemorySystem`).
+    Returns the actual fingerprint so tests can make additional
+    assertions on it.
     """
     regen = request.config.getoption("--regen-golden")
 
     def check(name: str, result) -> dict:
-        actual = result_fingerprint(result)
+        actual = (
+            result if isinstance(result, dict)
+            else result_fingerprint(result)
+        )
         path = FIXTURES / f"{name}.json"
         if regen:
             FIXTURES.mkdir(parents=True, exist_ok=True)

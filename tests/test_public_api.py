@@ -12,19 +12,33 @@ class TestRootExports:
         assert repro.__version__
 
 
-class TestCoreAlias:
-    def test_core_mirrors_stacks(self):
+class TestCoreArchitecture:
+    def test_all_names_resolve(self):
         import repro.core
-        import repro.stacks
 
-        for name in repro.stacks.__all__:
-            assert getattr(repro.core, name) is getattr(repro.stacks, name)
+        for name in repro.core.__all__:
+            assert hasattr(repro.core, name), name
 
-    def test_paper_contribution_reachable_both_ways(self):
-        from repro.core import BandwidthStackAccountant as from_core
-        from repro.stacks import BandwidthStackAccountant as from_stacks
+    def test_registries_are_populated(self):
+        from repro.dram import components
 
-        assert from_core is from_stacks
+        assert components.SCHEDULERS.names() == ("fr-fcfs", "fcfs")
+        assert components.PAGE_POLICIES.names() == ("open", "closed")
+        assert components.WRITE_DRAIN.names() == ("watermark", "burst")
+        assert components.REFRESH.names() == ("all-bank", "none")
+        assert components.ACCOUNTING.names() == ("event-log", "null")
+
+    def test_memory_interface_satisfied(self):
+        from repro.core import MemoryInterface
+        from repro.dram import (
+            ControllerConfig,
+            MemoryController,
+            MemorySystem,
+            MemorySystemConfig,
+        )
+
+        assert isinstance(MemoryController(ControllerConfig()), MemoryInterface)
+        assert isinstance(MemorySystem(MemorySystemConfig()), MemoryInterface)
 
 
 class TestEntryPoints:
