@@ -39,6 +39,12 @@ FAIL_SLOWDOWN = 0.25
 #: Wall seconds of fig2(ci) on the pre-overhaul tree (same machine the
 #: committed baseline was taken on); kept for the speedup report only.
 SEED_SECONDS = 32.3
+#: Worker count the measurement runs on. The benchmark is deliberately
+#: serial and in-process (it times the simulator hot loop, not the
+#: execution service), but the count is recorded in the JSON so a
+#: future parallel variant can never be compared against a serial
+#: baseline unnoticed.
+WORKERS = 1
 
 
 def measure() -> tuple[float, str]:
@@ -92,6 +98,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_baseline or baseline_digest is None:
         baseline_digest = digest
 
+    baseline_workers = previous.get("workers", WORKERS)
+    if baseline_workers != WORKERS and not args.update_baseline:
+        print(
+            f"bench_smoke: FAIL — baseline was measured with "
+            f"{baseline_workers} worker(s), this build uses {WORKERS}; "
+            f"re-baseline with --update-baseline",
+            file=sys.stderr,
+        )
+        return 1
+
     RESULT_FILE.write_text(json.dumps({
         "benchmark": "fig2-ci",
         "baseline_seconds": round(baseline, 2),
@@ -99,6 +115,7 @@ def main(argv: list[str] | None = None) -> int:
         "seed_seconds": SEED_SECONDS,
         "speedup_vs_seed": round(SEED_SECONDS / elapsed, 2),
         "fingerprint": baseline_digest,
+        "workers": WORKERS,
         "status": status,
     }, indent=2, sort_keys=True) + "\n")
 

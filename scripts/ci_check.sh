@@ -13,6 +13,7 @@ export PYTHONPATH=src
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-540}"
 SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-180}"
+SERVICE_TIMEOUT="${SERVICE_TIMEOUT:-180}"
 
 MARKER_ARGS=()
 if [[ "${1:-}" == "fast" ]]; then
@@ -40,6 +41,12 @@ timeout --signal=KILL "$TIER1_TIMEOUT" \
 echo "== fault-injection smoke (timeout ${SMOKE_TIMEOUT}s) =="
 timeout --signal=KILL "$SMOKE_TIMEOUT" \
     python -m pytest -x -q tests/reliability/test_faults.py
+
+echo "== parallel service smoke (timeout ${SERVICE_TIMEOUT}s) =="
+# 2-worker batch run twice: asserts parallel fingerprints match the
+# serial reference and the second invocation is >=90% cache hits.
+timeout --signal=KILL "$SERVICE_TIMEOUT" \
+    python scripts/service_smoke.py --jobs 2
 
 echo "== wall-clock smoke benchmark (timeout ${BENCH_TIMEOUT}s) =="
 # Gates on BENCH_PR2.json: warns past a 10% slowdown, fails past 25%

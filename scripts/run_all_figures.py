@@ -3,36 +3,148 @@
 
 Writes per-figure text to results/<fig>.txt and SVGs alongside; prints a
 timing summary. Used to produce the numbers recorded in EXPERIMENTS.md.
+
+Figures are independent jobs, so they can be farmed out to the parallel
+execution service (``--jobs N``) and cached (``--cache-dir DIR``): a
+re-run with an unchanged configuration replays each figure's text from
+the cache instead of resimulating. A figure that fails no longer kills
+the batch silently — its captured output and traceback are printed, the
+remaining figures still run, and the script exits nonzero at the end.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_all_figures.py [scale] [output_dir]
+        [--jobs N] [--cache-dir DIR] [--figures fig2,fig7]
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib
 import io
 import os
 import sys
 import time
+import traceback
 from contextlib import redirect_stdout
 
 FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9")
 
 
-def main() -> int:
-    scale = sys.argv[1] if len(sys.argv) > 1 else "paper"
-    output_dir = sys.argv[2] if len(sys.argv) > 2 else "results"
-    os.makedirs(output_dir, exist_ok=True)
-    for name in FIGURES:
+def _write_text(output_dir: str, name: str, text: str) -> str:
+    path = os.path.join(output_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+def run_serial(figures, scale: str, output_dir: str) -> list[str]:
+    """Run figures one by one in-process; returns the failed names."""
+    failed = []
+    for name in figures:
         module = importlib.import_module(f"repro.experiments.{name}")
         start = time.time()
         buffer = io.StringIO()
-        with redirect_stdout(buffer):
-            module.main(scale=scale, output_dir=output_dir)
+        try:
+            with redirect_stdout(buffer):
+                module.main(scale=scale, output_dir=output_dir)
+        except Exception:
+            # Surface everything: whatever the figure printed before it
+            # died, then the traceback — and keep going.
+            captured = buffer.getvalue()
+            if captured:
+                print(captured, end="" if captured.endswith("\n") else "\n")
+            print(f"{name}: FAILED after {time.time() - start:6.1f}s",
+                  flush=True)
+            traceback.print_exc()
+            failed.append(name)
+            continue
         elapsed = time.time() - start
-        text = buffer.getvalue()
-        path = os.path.join(output_dir, f"{name}.txt")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        path = _write_text(output_dir, name, buffer.getvalue())
         print(f"{name}: {elapsed:6.1f}s -> {path}", flush=True)
+    return failed
+
+
+def run_service(
+    figures, scale: str, output_dir: str, jobs: int,
+    cache_dir: str | None,
+) -> list[str]:
+    """Run figures through the execution service; returns failed names.
+
+    The SVG files are written by the worker that (cold-)runs a figure;
+    a cache hit replays the tables but relies on the SVGs from the
+    original run already being in ``output_dir``.
+    """
+    from repro.service import ExecutionService, Job
+
+    job_list = [
+        Job(
+            kind="figure",
+            config={"name": name, "output_dir": output_dir},
+            scale=scale,
+            label=name,
+        )
+        for name in figures
+    ]
+    service = ExecutionService(workers=jobs, cache=cache_dir)
+
+    def on_result(index, job, payload, cached):
+        path = _write_text(output_dir, job.label, payload["text"])
+        suffix = " (cached)" if cached else ""
+        print(
+            f"{job.label}: {payload['elapsed_s']:6.1f}s -> {path}{suffix}",
+            flush=True,
+        )
+
+    batch = service.run(job_list, on_result=on_result)
+    for failure in batch.failures:
+        print(f"{failure}", flush=True)
+    return [failure.job.label for failure in batch.failures]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("scale", nargs="?", default="paper",
+                        choices=("ci", "paper"))
+    parser.add_argument("output_dir", nargs="?", default="results")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (figures re-run only when their "
+        "configuration changed)",
+    )
+    parser.add_argument(
+        "--figures", default=None, metavar="LIST",
+        help=f"comma-separated subset of {','.join(FIGURES)}",
+    )
+    args = parser.parse_args(argv)
+
+    figures = FIGURES
+    if args.figures:
+        figures = tuple(name.strip() for name in args.figures.split(","))
+        unknown = [name for name in figures if name not in FIGURES]
+        if unknown:
+            parser.error(f"unknown figures: {', '.join(unknown)}")
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    if args.jobs > 1 or args.cache_dir:
+        failed = run_service(
+            figures, args.scale, args.output_dir, args.jobs,
+            args.cache_dir,
+        )
+    else:
+        failed = run_serial(figures, args.scale, args.output_dir)
+    if failed:
+        print(
+            f"{len(failed)} figure(s) failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

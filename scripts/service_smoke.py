@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI smoke test for the parallel execution service.
+
+Runs a small synthetic grid twice on a 2-worker pool with a fresh
+result cache and asserts the service's two headline contracts:
+
+1. **Determinism** — the warm run's per-point fingerprints equal the
+   cold run's (and both equal a serial in-process reference).
+2. **Cache effectiveness** — the second invocation is served (almost)
+   entirely from the cache: >= 90% hits, completing in a small
+   fraction of the cold time.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py [--jobs N]
+
+Exit status 0 on success, 1 with a diagnostic on any violated contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+
+MIN_HIT_RATE = 0.90
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the smoke batch (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.config import ExperimentScale
+    from repro.experiments.sweep import grid, run_sweep
+
+    scale = ExperimentScale("smoke", synthetic_accesses=1_200)
+    points = grid(
+        patterns=("sequential", "random"),
+        cores=(1, 2),
+        page_policies=("open",),
+    )
+
+    serial = run_sweep(points, scale=scale)
+    reference = [record.fingerprint for record in serial.records]
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as cache_dir:
+        cold_start = time.perf_counter()
+        cold = run_sweep(
+            points, scale=scale, jobs=args.jobs, cache=cache_dir
+        )
+        cold_s = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        warm = run_sweep(
+            points, scale=scale, jobs=args.jobs, cache=cache_dir
+        )
+        warm_s = time.perf_counter() - warm_start
+
+    problems = []
+    for name, result in (("cold", cold), ("warm", warm)):
+        if not result.complete:
+            problems.append(
+                f"{name} run had failures: "
+                + "; ".join(str(f) for f in result.failures)
+            )
+    if not problems:
+        for name, result in (("cold", cold), ("warm", warm)):
+            fingerprints = [r.fingerprint for r in result.records]
+            if fingerprints != reference:
+                problems.append(
+                    f"{name} parallel fingerprints differ from the "
+                    f"serial reference — determinism contract broken"
+                )
+        hits = sum(1 for record in warm.records if record.cached)
+        hit_rate = hits / len(points)
+        if hit_rate < MIN_HIT_RATE:
+            problems.append(
+                f"warm run hit rate {hit_rate:.0%} "
+                f"({hits}/{len(points)}) below the "
+                f"{MIN_HIT_RATE:.0%} gate"
+            )
+
+    if problems:
+        for problem in problems:
+            print(f"service_smoke: FAIL — {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"service_smoke: OK — {len(points)} points on {args.jobs} "
+        f"workers, cold {cold_s:.1f}s, warm {warm_s:.1f}s "
+        f"({sum(1 for r in warm.records if r.cached)}/{len(points)} "
+        f"cache hits)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@ Subcommands:
 * ``analyze`` — run a synthetic pattern or GAP kernel and print the
   bandwidth/latency/cycle stacks with the bottleneck advisor's findings.
 * ``figure`` — regenerate one of the paper's figures (fig2..fig9).
+* ``batch`` — run a configuration grid through the parallel execution
+  service (worker pool + result cache) with live progress.
 * ``trace`` — build a bandwidth stack from a stored command trace.
 * ``resume`` — continue a checkpointed run to completion.
 * ``specs`` — list the built-in DRAM timing specifications.
@@ -74,6 +76,64 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("name", choices=_FIGURES)
     figure.add_argument("--scale", choices=("ci", "paper"), default="ci")
     figure.add_argument("--output-dir", default="results")
+
+    batch = sub.add_parser(
+        "batch",
+        help="run a sweep grid on the parallel execution service",
+        description="Cartesian sweep over synthetic-workload knobs, "
+        "executed as independent jobs on a multiprocess worker pool "
+        "with an optional fingerprint-keyed result cache.",
+    )
+    batch.add_argument(
+        "--patterns", default="sequential,random", metavar="LIST",
+        help="comma-separated patterns (default sequential,random)",
+    )
+    batch.add_argument(
+        "--cores", default="1", metavar="LIST",
+        help="comma-separated core counts (default 1)",
+    )
+    batch.add_argument(
+        "--stores", default="0.0", metavar="LIST",
+        help="comma-separated store fractions (default 0.0)",
+    )
+    batch.add_argument(
+        "--page-policies", default="open", metavar="LIST",
+        help="comma-separated page policies (default open)",
+    )
+    batch.add_argument(
+        "--schemes", default="default", metavar="LIST",
+        help="comma-separated bank-indexing schemes (default default)",
+    )
+    batch.add_argument("--scale", choices=("ci", "paper"), default="ci")
+    batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial in-process)",
+    )
+    batch.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory; unchanged points are served "
+        "from cache",
+    )
+    batch.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="stream one JSON line per completed point to this file",
+    )
+    batch.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the final sweep table as CSV",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failing point (default 0)",
+    )
+    batch.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-point progress lines",
+    )
 
     phases = sub.add_parser(
         "phases", help="through-time phase analysis of a workload"
@@ -224,6 +284,87 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.events import EventBus
+    from repro.errors import ConfigurationError
+    from repro.experiments.sweep import grid, run_sweep
+    from repro.service.events import JobFailed, JobFinished
+    from repro.viz.live import BatchProgressMeter
+
+    def _split(raw: str, convert=str) -> tuple:
+        try:
+            return tuple(
+                convert(part.strip())
+                for part in raw.split(",") if part.strip()
+            )
+        except ValueError as error:
+            raise ConfigurationError(
+                f"bad list value {raw!r}: {error}"
+            ) from error
+
+    points = grid(
+        patterns=_split(args.patterns),
+        cores=_split(args.cores, int),
+        store_fractions=_split(args.stores, float),
+        page_policies=_split(args.page_policies),
+        address_schemes=_split(args.schemes),
+    )
+    if not points:
+        raise ConfigurationError("the requested grid is empty")
+
+    bus = EventBus()
+    meter = BatchProgressMeter(total=len(points)).attach(bus)
+    if not args.quiet:
+        def _print_finished(event) -> None:
+            marker = "cache" if event.cached else f"{event.elapsed_s:.1f}s"
+            print(f"  [{meter.status_line()}] {event.label} ({marker})",
+                  flush=True)
+
+        def _print_failed(event) -> None:
+            stage = "FAILED" if event.final else "retrying"
+            print(
+                f"  [{meter.status_line()}] {event.label} {stage}: "
+                f"{event.error_type}: {event.message}",
+                flush=True,
+            )
+
+        bus.subscribe(JobFinished, _print_finished)
+        bus.subscribe(JobFailed, _print_failed)
+
+    print(
+        f"batch: {len(points)} point(s) at scale {args.scale!r} on "
+        f"{args.jobs} worker(s)"
+        + (f", cache {args.cache_dir}" if args.cache_dir else "")
+    )
+    result = run_sweep(
+        points,
+        scale=args.scale,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        bus=bus,
+        jsonl_path=args.jsonl,
+    )
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(result.to_csv())
+    print(f"batch: {meter.status_line()}")
+    if result.records:
+        best = result.best_bandwidth()
+        print(
+            f"best bandwidth: {best.point.label} "
+            f"({best.achieved_gbps:.2f} GB/s); best latency: "
+            f"{result.best_latency().point.label} "
+            f"({result.best_latency().avg_latency_ns:.1f} ns)"
+        )
+    for failure in result.failures:
+        print(f"failed: {failure}", file=sys.stderr)
+    if not result.complete:
+        return exit_code_for(result.failures[0].error)
+    return 0
+
+
 def _cmd_phases(args: argparse.Namespace) -> int:
     from repro.analysis.phases import describe_phases, detect_phases
 
@@ -305,6 +446,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "analyze": _cmd_analyze,
         "figure": _cmd_figure,
+        "batch": _cmd_batch,
         "phases": _cmd_phases,
         "trace": _cmd_trace,
         "resume": _cmd_resume,

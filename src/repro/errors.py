@@ -105,6 +105,17 @@ class CheckpointError(ReproError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """A parallel-service worker died without delivering its result.
+
+    Raised on the submitting side when a worker process exits abnormally
+    (segfault, ``os._exit``, OOM kill) mid-job, and used to wrap
+    non-Repro exceptions escaping a job executor. The pool isolates the
+    crash: the job is retried or failed, the rest of the batch proceeds
+    on a respawned worker.
+    """
+
+
 #: Process exit codes for each error family, used by the CLI. Codes 0-2
 #: are reserved (success, generic failure, argparse usage errors).
 EXIT_CODES: dict[type, int] = {
@@ -117,6 +128,7 @@ EXIT_CODES: dict[type, int] = {
     SimulationStalledError: 9,
     SimulationTimeoutError: 10,
     CheckpointError: 11,
+    WorkerCrashError: 12,
 }
 
 

@@ -3,17 +3,26 @@
 A small grid harness over the knobs the paper varies — pattern, cores,
 store fraction, page policy, bank indexing — producing one record per
 point with its headline metrics and stacks. Useful for regenerating any
-figure-like slice, and for CSV export into external tooling.
+figure-like slice, and for CSV/JSONL export into external tooling.
+
+Every grid point is an independent, deterministic job, so
+:func:`run_sweep` can execute through the parallel execution service
+(:mod:`repro.service`): pass ``jobs=N`` for a multiprocess run and/or
+``cache=...`` for fingerprint-keyed result reuse. The serial in-process
+path (``jobs=1``, no cache) is kept bit-for-bit: a parallel sweep's
+per-point ``fingerprint`` digests equal the serial ones.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import IO, Iterable
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.config import ExperimentScale
 from repro.experiments.runner import run_synthetic
 from repro.stacks.components import Stack
@@ -41,7 +50,13 @@ class SweepPoint:
 
 @dataclass
 class SweepRecord:
-    """Result of one sweep point."""
+    """Result of one sweep point.
+
+    ``fingerprint`` is the point's ``result_fingerprint`` digest — the
+    content hash of the full event timeline and stacks — identical
+    whether the point ran serially, on a worker pool, or came out of
+    the result cache. ``cached`` marks records served from the cache.
+    """
 
     point: SweepPoint
     achieved_gbps: float
@@ -49,6 +64,22 @@ class SweepRecord:
     page_hit_rate: float
     bandwidth: Stack
     latency: Stack
+    fingerprint: str = ""
+    cached: bool = False
+
+    def to_json_dict(self) -> dict:
+        """The record as one JSONL-able dict (full float precision)."""
+        return {
+            "kind": "record",
+            "point": dataclasses.asdict(self.point),
+            "achieved_gbps": self.achieved_gbps,
+            "avg_latency_ns": self.avg_latency_ns,
+            "page_hit_rate": self.page_hit_rate,
+            "bandwidth": dict(self.bandwidth.as_rows()),
+            "latency": dict(self.latency.as_rows()),
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+        }
 
 
 @dataclass
@@ -64,6 +95,16 @@ class SweepFailure:
             f"{self.point.label}: {type(self.error).__name__} after "
             f"{self.attempts} attempt(s): {self.error}"
         )
+
+    def to_json_dict(self) -> dict:
+        """The failure as one JSONL-able dict."""
+        return {
+            "kind": "failure",
+            "point": dataclasses.asdict(self.point),
+            "error_type": type(self.error).__name__,
+            "message": str(self.error),
+            "attempts": self.attempts,
+        }
 
 
 @dataclass
@@ -121,6 +162,25 @@ class SweepResult:
             )
         return "\n".join(lines) + "\n"
 
+    def to_jsonl(self) -> str:
+        """The sweep as JSON Lines: one record or failure per line.
+
+        Unlike :meth:`to_csv` this carries the full stacks, the result
+        fingerprints, and the failures, at full float precision. The
+        same line format is what :func:`run_sweep` streams to
+        ``jsonl_path`` as points complete, so a partial file from an
+        interrupted run parses the same way a complete export does.
+        """
+        lines = [
+            json.dumps(record.to_json_dict(), sort_keys=True)
+            for record in self.records
+        ]
+        lines.extend(
+            json.dumps(failure.to_json_dict(), sort_keys=True)
+            for failure in self.failures
+        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
 
 def grid(
     patterns: Iterable[str] = ("sequential", "random"),
@@ -146,6 +206,10 @@ def run_sweep(
     retries: int = 0,
     backoff_s: float = 1.0,
     guard_factory=None,
+    jobs: int = 1,
+    cache=None,
+    bus=None,
+    jsonl_path: str | None = None,
 ) -> SweepResult:
     """Run every point; `progress` (if given) is called per record.
 
@@ -162,22 +226,56 @@ def run_sweep(
             :class:`~repro.reliability.guard.ReliabilityGuard` for each
             attempt; overrides `timeout_s`. Called fresh per attempt —
             guards hold armed deadlines and must not be reused.
+            Serial-only (guards are not picklable policy, and the
+            service applies its own guard); combined with ``jobs>1`` it
+            raises :class:`~repro.errors.ConfigurationError`.
+
+    Execution-service knobs (see :mod:`repro.service`):
+
+    Args:
+        jobs: worker processes. 1 (default) runs serially in-process;
+            N>1 fans the grid out over a spawn-based worker pool. The
+            per-point ``fingerprint`` digests are identical either way.
+        cache: a :class:`~repro.service.cache.ResultCache`, a cache
+            directory path, or None. With a cache, unchanged points are
+            served from disk (``record.cached`` is True) and only
+            changed configurations recompute.
+        bus: an :class:`~repro.core.events.EventBus` receiving
+            ``JobStarted`` / ``JobFinished`` / ``JobFailed`` topics for
+            live progress (see :mod:`repro.service.events`).
+        jsonl_path: stream one JSON line per completed point (and per
+            terminal failure) to this file as the sweep runs — an
+            interrupt loses at most the in-flight points, never the
+            finished ones.
 
     Failing points never abort the sweep: after the retry budget the
     point is recorded in ``result.failures`` and the sweep moves on, so
     a mostly-healthy grid still reports its healthy part.
     """
-    result = SweepResult()
-    for point in points:
-        outcome = _run_point(
-            point, scale, timeout_s, retries, backoff_s, guard_factory
+    if jobs > 1 or cache is not None or bus is not None:
+        if guard_factory is not None:
+            raise ConfigurationError(
+                "run_sweep(guard_factory=...) is serial-only; it cannot "
+                "be combined with jobs>1, cache or bus"
+            )
+        return _run_sweep_service(
+            points, scale, progress, timeout_s, retries, backoff_s,
+            jobs, cache, bus, jsonl_path,
         )
-        if isinstance(outcome, SweepFailure):
-            result.failures.append(outcome)
-            continue
-        result.records.append(outcome)
-        if progress is not None:
-            progress(outcome)
+    result = SweepResult()
+    with _jsonl_writer(jsonl_path) as emit_line:
+        for point in points:
+            outcome = _run_point(
+                point, scale, timeout_s, retries, backoff_s, guard_factory
+            )
+            if isinstance(outcome, SweepFailure):
+                result.failures.append(outcome)
+                emit_line(outcome.to_json_dict())
+                continue
+            result.records.append(outcome)
+            emit_line(outcome.to_json_dict())
+            if progress is not None:
+                progress(outcome)
     return result
 
 
@@ -220,6 +318,8 @@ def _run_point(
             continue
         bandwidth = sim.bandwidth_stack(point.label)
         latency = sim.latency_stack(point.label)
+        from repro.reliability.fingerprint import result_fingerprint
+
         return SweepRecord(
             point=point,
             achieved_gbps=bandwidth["read"] + bandwidth["write"],
@@ -227,4 +327,134 @@ def _run_point(
             page_hit_rate=sim.memory.stats.page_hit_rate,
             bandwidth=bandwidth,
             latency=latency,
+            fingerprint=result_fingerprint(sim)["digest"],
         )
+
+
+def point_job(
+    point: SweepPoint,
+    scale: str | ExperimentScale = "ci",
+    timeout_s: float | None = None,
+):
+    """The :class:`~repro.service.job.Job` equivalent of one grid point.
+
+    The job's content digest keys the result cache, so two sweeps
+    containing the same point at the same scale share cached results.
+    """
+    from repro.service.job import Job
+
+    return Job(
+        kind="synthetic",
+        config={
+            "pattern": point.pattern,
+            "cores": point.cores,
+            "store_fraction": point.store_fraction,
+            "page_policy": point.page_policy,
+            "address_scheme": point.address_scheme,
+        },
+        scale=scale,
+        label=point.label,
+        timeout_s=timeout_s,
+    )
+
+
+def _record_from_payload(
+    point: SweepPoint, payload: dict, cached: bool
+) -> SweepRecord:
+    """Rebuild a SweepRecord from an execution-service payload.
+
+    Stack floats round-trip through the payload JSON exactly, so a
+    rebuilt record is bit-identical to one computed in-process.
+    """
+    from repro.service.executors import stack_from_payload
+
+    metrics = payload["metrics"]
+    return SweepRecord(
+        point=point,
+        achieved_gbps=metrics["achieved_gbps"],
+        avg_latency_ns=metrics["avg_latency_ns"],
+        page_hit_rate=metrics["page_hit_rate"],
+        bandwidth=stack_from_payload(payload["bandwidth"]),
+        latency=stack_from_payload(payload["latency"]),
+        fingerprint=payload["fingerprint"]["digest"],
+        cached=cached,
+    )
+
+
+def _run_sweep_service(
+    points: list[SweepPoint],
+    scale,
+    progress,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    jobs: int,
+    cache,
+    bus,
+    jsonl_path: str | None,
+) -> SweepResult:
+    """Grid execution through :class:`repro.service.ExecutionService`."""
+    from repro.service.service import ExecutionService
+
+    service = ExecutionService(
+        workers=max(1, jobs),
+        cache=cache,
+        bus=bus,
+        timeout_s=timeout_s,
+        retries=retries,
+        backoff_s=backoff_s,
+    )
+    job_list = [point_job(point, scale, timeout_s) for point in points]
+    by_index: dict[int, SweepRecord] = {}
+    with _jsonl_writer(jsonl_path) as emit_line:
+
+        def on_result(index, job, payload, cached):
+            record = _record_from_payload(points[index], payload, cached)
+            by_index[index] = record
+            emit_line(record.to_json_dict())
+            if progress is not None:
+                progress(record)
+
+        batch = service.run(job_list, on_result=on_result)
+        result = SweepResult(
+            records=[
+                by_index[i] for i in range(len(points)) if i in by_index
+            ],
+        )
+        for failure in batch.failures:
+            sweep_failure = SweepFailure(
+                point=points[failure.index],
+                error=failure.error,
+                attempts=failure.attempts,
+            )
+            result.failures.append(sweep_failure)
+            emit_line(sweep_failure.to_json_dict())
+    return result
+
+
+class _jsonl_writer:
+    """Context manager yielding a line emitter (no-op without a path).
+
+    Lines are flushed as written, so a killed sweep leaves a valid,
+    parseable prefix of the full export.
+    """
+
+    def __init__(self, path: str | None) -> None:
+        self._path = path
+        self._handle: IO[str] | None = None
+
+    def __enter__(self):
+        if self._path is None:
+            return lambda body: None
+        self._handle = open(self._path, "w", encoding="utf-8")
+
+        def emit(body: dict) -> None:
+            assert self._handle is not None
+            self._handle.write(json.dumps(body, sort_keys=True) + "\n")
+            self._handle.flush()
+
+        return emit
+
+    def __exit__(self, *exc_info) -> None:
+        if self._handle is not None:
+            self._handle.close()

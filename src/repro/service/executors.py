@@ -1,0 +1,296 @@
+"""Job executors: how each job kind actually runs.
+
+An executor maps a :class:`~repro.service.job.Job` to a
+JSON-serializable *payload* — the thing the result cache stores and a
+cache hit returns verbatim. Executors are registered in
+:data:`EXECUTORS` (the same :class:`~repro.core.registry.ComponentRegistry`
+pattern the controller policies use), so a new job kind is a class plus
+one decorator line and is immediately runnable by the pool, the cache,
+the sweep harness and the ``batch`` CLI.
+
+Payload schema for simulation kinds (``synthetic`` / ``gap``)::
+
+    {
+      "fingerprint": {... result_fingerprint dict, incl. "digest" ...},
+      "metrics": {"achieved_gbps": ..., "avg_latency_ns": ...,
+                  "page_hit_rate": ...},
+      "bandwidth": {"components": [[name, value], ...],
+                    "unit": "GB/s", "label": ...},
+      "latency":   {"components": [...], "unit": "ns", "label": ...},
+      "counts": {"total_cycles": ..., ...},
+    }
+
+Stack components are carried at full float precision (JSON ``repr``
+round-trip), so a payload rebuilt from cache is bit-identical to one
+computed fresh — the determinism contract the parallel sweep relies on.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+from contextlib import redirect_stdout
+from typing import Any
+
+from repro.core.registry import ComponentRegistry
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationTimeoutError,
+    WorkerCrashError,
+)
+from repro.service.job import Job
+from repro.stacks.components import Stack
+
+#: Registry of job-kind executors; register custom kinds here.
+EXECUTORS = ComponentRegistry("job executor")
+
+
+def stack_to_payload(stack: Stack) -> dict:
+    """A Stack as plain JSON data (inverse of :func:`stack_from_payload`)."""
+    return {
+        "components": [[name, value] for name, value in stack.as_rows()],
+        "unit": stack.unit,
+        "label": stack.label,
+    }
+
+
+def stack_from_payload(body: dict) -> Stack:
+    """Rebuild a Stack from its payload form, preserving order."""
+    return Stack(
+        {name: value for name, value in body["components"]},
+        unit=body.get("unit", ""),
+        label=body.get("label", ""),
+    )
+
+
+def _job_guard(job: Job):
+    """The reliability guard a simulation job runs under.
+
+    Jobs get the default watchdog/auditor guard, plus a cooperative
+    wall-clock budget when the job carries one — the same
+    ``SimulationTimeoutError`` path PR 1's sweep timeouts use. The
+    worker pool's hard kill (see :mod:`repro.service.pool`) is the
+    backstop for code that never reaches a guard tick.
+    """
+    if job.timeout_s is None:
+        return None  # run_synthetic/run_gap apply the default guard
+    from repro.reliability.guard import ReliabilityGuard
+
+    guard = ReliabilityGuard.default()
+    guard.wall_timeout_s = job.timeout_s
+    return guard
+
+
+def _simulation_payload(result, label: str) -> dict:
+    from repro.reliability.fingerprint import result_fingerprint
+
+    bandwidth = result.bandwidth_stack(label)
+    latency = result.latency_stack(label)
+    return {
+        "fingerprint": result_fingerprint(result),
+        "metrics": {
+            "achieved_gbps": bandwidth["read"] + bandwidth["write"],
+            "avg_latency_ns": latency.total,
+            "page_hit_rate": result.memory.stats.page_hit_rate,
+        },
+        "bandwidth": stack_to_payload(bandwidth),
+        "latency": stack_to_payload(latency),
+        "counts": {
+            "total_cycles": result.total_cycles,
+            "dram_reads": result.dram_reads,
+            "dram_writes": result.dram_writes,
+            "instructions": result.instructions,
+        },
+    }
+
+
+@EXECUTORS.register("synthetic")
+class SyntheticExecutor:
+    """Run one synthetic pattern through the full pipeline.
+
+    ``job.config`` keys are :func:`repro.experiments.runner.run_synthetic`
+    keyword arguments: ``pattern`` (required), ``cores``,
+    ``store_fraction``, ``page_policy``, ``address_scheme``,
+    ``scheduling``, ``write_queue_capacity``.
+    """
+
+    cacheable = True
+
+    def execute(self, job: Job) -> dict:
+        from repro.experiments.runner import run_synthetic
+
+        config = dict(job.config)
+        if "pattern" not in config:
+            raise ConfigurationError(
+                "synthetic job config requires a 'pattern' key"
+            )
+        try:
+            result = run_synthetic(
+                scale=job.resolved_scale() or "ci",
+                guard=_job_guard(job),
+                **config,
+            )
+        except TypeError as error:
+            raise ConfigurationError(
+                f"bad synthetic job config {sorted(config)}: {error}"
+            ) from error
+        return _simulation_payload(result, job.label)
+
+
+@EXECUTORS.register("gap")
+class GapExecutor:
+    """Run one GAP kernel configuration.
+
+    ``job.config`` keys are :func:`repro.experiments.runner.run_gap`
+    keyword arguments: ``kernel`` (required), ``cores``, ``page_policy``,
+    ``address_scheme``, ``write_queue_capacity``. ``job.seed`` seeds the
+    synthetic graph.
+    """
+
+    cacheable = True
+
+    def execute(self, job: Job) -> dict:
+        from repro.experiments.runner import run_gap
+
+        config = dict(job.config)
+        if "kernel" not in config:
+            raise ConfigurationError("gap job config requires a 'kernel' key")
+        try:
+            result, workload = run_gap(
+                scale=job.resolved_scale() or "ci",
+                seed=job.seed,
+                guard=_job_guard(job),
+                **config,
+            )
+        except TypeError as error:
+            raise ConfigurationError(
+                f"bad gap job config {sorted(config)}: {error}"
+            ) from error
+        payload = _simulation_payload(result, job.label)
+        payload["workload"] = workload.describe()
+        return payload
+
+
+@EXECUTORS.register("figure")
+class FigureExecutor:
+    """Regenerate one paper figure (``repro.experiments.figN.main``).
+
+    ``job.config``: ``name`` (``"fig2"``..``"fig9"``) and ``output_dir``.
+    The payload carries the figure's printed tables; the SVG files are
+    written into ``output_dir`` as a side effect of the *cold* run, so a
+    cache hit replays the text but assumes the SVGs from the original
+    run are still on disk (see ``docs/service.md``).
+    """
+
+    cacheable = True
+
+    def execute(self, job: Job) -> dict:
+        import importlib
+
+        config = dict(job.config)
+        name = config.get("name")
+        if not name:
+            raise ConfigurationError("figure job config requires 'name'")
+        output_dir = config.get("output_dir", "results")
+        try:
+            module = importlib.import_module(f"repro.experiments.{name}")
+        except ImportError as error:
+            raise ConfigurationError(
+                f"unknown figure {name!r}: {error}"
+            ) from error
+        scale = job.resolved_scale()
+        start = time.perf_counter()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main(
+                scale=scale if scale is not None else "ci",
+                output_dir=output_dir,
+            )
+        return {
+            "name": name,
+            "text": buffer.getvalue(),
+            "elapsed_s": time.perf_counter() - start,
+        }
+
+
+@EXECUTORS.register("probe")
+class ProbeExecutor:
+    """Test/diagnostic instrument: a job with scripted (mis)behaviour.
+
+    Exercises every failure path of the pool and service without
+    touching the simulator. ``job.config`` keys:
+
+    * ``sleep_s`` — busy-wait this long before doing anything else
+      (drives the hard-kill timeout path; deliberately ignores guards).
+    * ``marker_dir`` — directory used to count attempts across retries
+      (one token file is created per attempt).
+    * ``fail_times`` — raise :class:`SimulationTimeoutError` on the
+      first N attempts (requires ``marker_dir`` to ever succeed).
+    * ``crash_times`` — die via ``os._exit`` on the first N attempts
+      when running inside a worker process (crash isolation path); in
+      inline mode this degrades to raising :class:`WorkerCrashError`.
+    * ``value`` — payload content to return on success.
+
+    Probe results are never cached (``cacheable = False``).
+    """
+
+    cacheable = False
+
+    def execute(self, job: Job) -> dict:
+        config = dict(job.config)
+        sleep_s = float(config.get("sleep_s", 0.0))
+        if sleep_s:
+            deadline = time.monotonic() + sleep_s
+            while time.monotonic() < deadline:
+                time.sleep(min(0.05, sleep_s))
+        attempt = 1
+        marker_dir = config.get("marker_dir")
+        if marker_dir:
+            os.makedirs(marker_dir, exist_ok=True)
+            stem = f"probe-{job.digest()[:16]}"
+            attempt = len(
+                [n for n in os.listdir(marker_dir) if n.startswith(stem)]
+            ) + 1
+            with open(
+                os.path.join(marker_dir, f"{stem}-{attempt:03d}.token"),
+                "w",
+            ):
+                pass
+        if attempt <= int(config.get("crash_times", 0)):
+            self._crash()
+        if attempt <= int(config.get("fail_times", 0)):
+            raise SimulationTimeoutError(
+                f"probe scripted failure (attempt {attempt})"
+            )
+        return {"value": config.get("value"), "attempt": attempt}
+
+    @staticmethod
+    def _crash() -> None:
+        from repro.service import worker
+
+        if worker.IN_WORKER:
+            os._exit(13)  # simulate a hard worker death
+        raise WorkerCrashError("probe scripted crash (inline mode)")
+
+
+def execute_job(job: Job) -> tuple[dict, bool]:
+    """Run `job` with its registered executor.
+
+    Returns ``(payload, cacheable)``. Raises :class:`ReproError`
+    subclasses for anything that goes wrong; non-Repro exceptions from
+    executors are wrapped in :class:`WorkerCrashError` so callers only
+    ever see the library's error hierarchy.
+    """
+    executor = EXECUTORS.create(job.kind)
+    try:
+        payload = executor.execute(job)
+    except ReproError:
+        raise
+    except Exception as error:
+        raise WorkerCrashError(
+            f"{job.kind} executor raised "
+            f"{type(error).__name__}: {error}"
+        ) from error
+    return payload, bool(getattr(executor, "cacheable", True))

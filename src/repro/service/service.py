@@ -1,0 +1,436 @@
+"""The execution service: cache-aware, retrying batch orchestration.
+
+:class:`ExecutionService` ties the subsystem together: it takes a list
+of :class:`~repro.service.job.Job` descriptions and produces one
+payload (or terminal failure) per job, consulting the result cache
+before doing any work, fanning execution out over a
+:class:`~repro.service.pool.WorkerPool` (or running inline for
+``workers=1``), retrying failed attempts with exponential backoff, and
+publishing :mod:`repro.service.events` topics on an
+:class:`~repro.core.events.EventBus` for progress consumers.
+
+Determinism: jobs are independent and each runs in a fresh, seeded
+simulator, so payloads — including every per-point
+``result_fingerprint`` digest — do not depend on worker count,
+completion order, or whether they came from the cache. The parallel
+sweep tests pin exactly this (serial vs 4-worker fingerprint
+equality).
+
+Inline mode (``workers=1``) executes in-process: no spawn cost, full
+monkeypatch-ability, cooperative timeouts only — crash isolation
+requires a real pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import repro.errors as errors_mod
+from repro.core.events import EventBus
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationTimeoutError,
+    WorkerCrashError,
+)
+from repro.service.cache import ResultCache
+from repro.service.events import JobFailed, JobFinished, JobStarted
+from repro.service.executors import execute_job
+from repro.service.job import Job
+from repro.service.pool import WorkerPool
+
+#: ``on_result`` callback: (index, job, payload, cached) — called in
+#: completion order, before the batch returns.
+ResultCallback = Callable[[int, Job, dict, bool], None]
+
+
+@dataclass
+class JobFailure:
+    """A job that kept failing after its whole retry budget."""
+
+    job: Job
+    index: int
+    error: ReproError
+    attempts: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.job.display_label}: {type(self.error).__name__} "
+            f"after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Everything a batch produced, aligned with the submitted jobs."""
+
+    jobs: list[Job]
+    #: One payload per job (None where the job terminally failed).
+    payloads: list[dict | None]
+    failures: list[JobFailure] = field(default_factory=list)
+    cache_hits: int = 0
+    executed: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every job produced a payload."""
+        return not self.failures
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits per completed job (0.0 for an empty batch)."""
+        done = self.cache_hits + self.executed
+        return self.cache_hits / done if done else 0.0
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def _rebuild_error(error_type: str, message: str) -> ReproError:
+    """Map a worker-side error back onto the ReproError hierarchy."""
+    cls = getattr(errors_mod, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return WorkerCrashError(f"{error_type}: {message}")
+
+
+class ExecutionService:
+    """Runs job batches with caching, parallelism, and retries.
+
+    Args:
+        workers: worker processes; 1 executes inline (no subprocess).
+        cache: a :class:`ResultCache`, a directory path for one, or
+            None to disable caching.
+        bus: event bus for :mod:`repro.service.events` topics; a
+            private bus is created when omitted (so ``service.bus`` is
+            always subscribable).
+        timeout_s: default per-job wall-clock budget; a job's own
+            ``timeout_s`` takes precedence.
+        retries: extra attempts per failing job.
+        backoff_s: sleep before retry ``k`` is ``backoff_s * 2**(k-1)``.
+        start_method: multiprocessing start method (tests only; spawn
+            is the supported default).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | str | None = None,
+        bus: EventBus | None = None,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 1.0,
+        start_method: str = "spawn",
+    ) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise ConfigurationError(
+                f"ExecutionService(workers=...) must be a positive int, "
+                f"got {workers!r}"
+            )
+        if retries < 0:
+            raise ConfigurationError(
+                f"ExecutionService(retries=...) must be >= 0, "
+                f"got {retries!r}"
+            )
+        self.workers = workers
+        if isinstance(cache, (str, bytes)) or hasattr(cache, "__fspath__"):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.bus = bus if bus is not None else EventBus()
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.start_method = start_method
+        self._sleep = time.sleep  # patchable in tests
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[Job],
+        on_result: ResultCallback | None = None,
+    ) -> BatchResult:
+        """Execute `jobs`; returns payloads aligned with the input order.
+
+        Failing jobs never abort the batch: after the retry budget they
+        are recorded in ``result.failures`` and everything else still
+        completes.
+        """
+        jobs = list(jobs)
+        started = time.perf_counter()
+        result = BatchResult(jobs=jobs, payloads=[None] * len(jobs))
+        if jobs:
+            if self.workers == 1:
+                self._run_inline(jobs, result, on_result)
+            else:
+                self._run_pooled(jobs, result, on_result)
+        result.elapsed_s = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared pieces
+    # ------------------------------------------------------------------
+    def _effective(self, job: Job) -> Job:
+        """Apply the service-level default timeout to a job."""
+        if job.timeout_s is None and self.timeout_s is not None:
+            return dataclasses.replace(job, timeout_s=self.timeout_s)
+        return job
+
+    def _try_cache(
+        self,
+        index: int,
+        job: Job,
+        digest: str,
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> bool:
+        """Serve job `index` from the cache if possible."""
+        if self.cache is None:
+            return False
+        lookup_start = time.perf_counter()
+        payload = self.cache.get(digest)
+        if payload is None:
+            return False
+        result.payloads[index] = payload
+        result.cache_hits += 1
+        self.bus.publish(JobFinished(
+            index=index,
+            digest=digest,
+            label=job.display_label,
+            elapsed_s=time.perf_counter() - lookup_start,
+            attempts=0,
+            cached=True,
+        ))
+        if on_result is not None:
+            on_result(index, job, payload, True)
+        return True
+
+    def _finish(
+        self,
+        index: int,
+        job: Job,
+        digest: str,
+        payload: dict,
+        cacheable: bool,
+        attempts: int,
+        elapsed_s: float,
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        if self.cache is not None and cacheable:
+            self.cache.put(job, payload)
+        result.payloads[index] = payload
+        result.executed += 1
+        self.bus.publish(JobFinished(
+            index=index,
+            digest=digest,
+            label=job.display_label,
+            elapsed_s=elapsed_s,
+            attempts=attempts,
+            cached=False,
+        ))
+        if on_result is not None:
+            on_result(index, job, payload, False)
+
+    def _fail_attempt(
+        self,
+        index: int,
+        job: Job,
+        digest: str,
+        error: ReproError,
+        attempt: int,
+        result: BatchResult,
+    ) -> bool:
+        """Publish a failure; returns True when the job should retry."""
+        final = attempt > self.retries
+        self.bus.publish(JobFailed(
+            index=index,
+            digest=digest,
+            label=job.display_label,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempt=attempt,
+            final=final,
+        ))
+        if final:
+            result.failures.append(JobFailure(
+                job=job, index=index, error=error, attempts=attempt
+            ))
+        return not final
+
+    def _backoff(self, attempt: int) -> float:
+        return self.backoff_s * 2 ** (attempt - 1)
+
+    # ------------------------------------------------------------------
+    # Inline execution (workers=1)
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self,
+        jobs: list[Job],
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        for index, job in enumerate(jobs):
+            job = self._effective(job)
+            digest = job.digest()
+            if self._try_cache(index, job, digest, result, on_result):
+                continue
+            attempt = 0
+            while True:
+                attempt += 1
+                self.bus.publish(JobStarted(
+                    index=index,
+                    digest=digest,
+                    label=job.display_label,
+                    attempt=attempt,
+                    worker=-1,
+                ))
+                attempt_start = time.perf_counter()
+                try:
+                    payload, cacheable = execute_job(job)
+                except ReproError as error:
+                    if self._fail_attempt(
+                        index, job, digest, error, attempt, result
+                    ):
+                        self._sleep(self._backoff(attempt))
+                        continue
+                    break
+                self._finish(
+                    index, job, digest, payload, cacheable, attempt,
+                    time.perf_counter() - attempt_start, result, on_result,
+                )
+                break
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _run_pooled(
+        self,
+        jobs: list[Job],
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        effective = [self._effective(job) for job in jobs]
+        digests = [job.digest() for job in effective]
+        resolved: set[int] = set()  # indices with a terminal outcome
+        #: (ready_at_monotonic, index, attempt) awaiting dispatch.
+        # Cache hits are resolved before the pool exists, so a fully
+        # warm batch never pays worker-spawn cost at all.
+        pending: list[tuple[float, int, int]] = []
+        for index, (job, digest) in enumerate(zip(effective, digests)):
+            if self._try_cache(index, job, digest, result, on_result):
+                resolved.add(index)
+            else:
+                pending.append((0.0, index, 1))
+        if not pending:
+            return
+        #: task_id -> (index, attempt, start_perf)
+        in_flight: dict[int, tuple[int, int, float]] = {}
+        next_task_id = 0
+        with WorkerPool(self.workers, self.start_method) as pool:
+            while pending or in_flight:
+                now = time.monotonic()
+                # Dispatch everything ready, in index order, while
+                # workers are idle. Cache lookups happen here so a
+                # duplicate digest completed earlier in this very batch
+                # is already a hit by the time its twin dispatches.
+                pending.sort()
+                dispatched_any = True
+                while pending and dispatched_any:
+                    dispatched_any = False
+                    ready_at, index, attempt = pending[0]
+                    if ready_at > now:
+                        break
+                    job, digest = effective[index], digests[index]
+                    if attempt == 1 and self._try_cache(
+                        index, job, digest, result, on_result
+                    ):
+                        pending.pop(0)
+                        resolved.add(index)
+                        dispatched_any = True
+                        continue
+                    if pool.idle_workers == 0:
+                        break
+                    worker_id = pool.dispatch(
+                        next_task_id, job, job.timeout_s
+                    )
+                    if worker_id is None:
+                        break
+                    pending.pop(0)
+                    in_flight[next_task_id] = (
+                        index, attempt, time.perf_counter()
+                    )
+                    self.bus.publish(JobStarted(
+                        index=index,
+                        digest=digest,
+                        label=job.display_label,
+                        attempt=attempt,
+                        worker=worker_id,
+                    ))
+                    next_task_id += 1
+                    dispatched_any = True
+                if not in_flight and pending:
+                    # Nothing running; wait out the nearest backoff.
+                    wait = max(0.0, pending[0][0] - time.monotonic())
+                    if wait:
+                        self._sleep(min(wait, 0.5))
+                    continue
+                block = 0.05 if pending else 0.2
+                for event in pool.poll(block):
+                    info = in_flight.pop(event.job_id, None)
+                    if info is None:
+                        continue  # stale event for a resolved task
+                    index, attempt, start_perf = info
+                    if index in resolved:
+                        continue
+                    job, digest = effective[index], digests[index]
+                    if event.kind == "ok":
+                        resolved.add(index)
+                        self._finish(
+                            index, job, digest,
+                            event.body["payload"],
+                            event.body.get("cacheable", True),
+                            attempt,
+                            time.perf_counter() - start_perf,
+                            result, on_result,
+                        )
+                        continue
+                    if event.kind == "error":
+                        error = _rebuild_error(
+                            event.body.get("type", "ReproError"),
+                            event.body.get("message", ""),
+                        )
+                    elif event.kind == "timeout":
+                        error = SimulationTimeoutError(
+                            f"job exceeded its {job.timeout_s}s budget; "
+                            f"worker killed"
+                        )
+                    else:  # crashed
+                        error = WorkerCrashError(
+                            f"worker died mid-job (exit code "
+                            f"{event.body.get('exitcode')!r})"
+                        )
+                    if self._fail_attempt(
+                        index, job, digest, error, attempt, result
+                    ):
+                        pending.append((
+                            time.monotonic() + self._backoff(attempt),
+                            index,
+                            attempt + 1,
+                        ))
+                    else:
+                        resolved.add(index)
+
+
+def run_jobs(
+    jobs: Sequence[Job],
+    workers: int = 1,
+    on_result: ResultCallback | None = None,
+    **service_kwargs,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`ExecutionService`."""
+    service = ExecutionService(workers=workers, **service_kwargs)
+    return service.run(jobs, on_result=on_result)

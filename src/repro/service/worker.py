@@ -1,0 +1,62 @@
+"""Worker-process entry point for the multiprocess pool.
+
+This module is the spawn target: each pool worker imports it in a
+fresh interpreter, then loops pulling ``(job_id, job_dict)`` tasks from
+its task queue, executing them via
+:func:`repro.service.executors.execute_job`, and pushing
+``(worker_id, job_id, status, body)`` tuples onto the shared result
+queue. It deliberately contains no pool logic — the parent process owns
+dispatch, deadlines, retries and respawns (:mod:`repro.service.pool`).
+
+Error contract: executor failures are caught and shipped back as
+``("error", {"type": ..., "message": ..., "cacheable": False})`` so the
+parent can map them onto the :class:`~repro.errors.ReproError`
+hierarchy; only a hard death (``os._exit``, segfault, kill) leaves the
+parent without a result, which it detects as a crash via the process's
+exit code.
+"""
+
+from __future__ import annotations
+
+import traceback
+
+#: True inside a pool worker process; lets test instruments (the probe
+#: executor) distinguish "safe to hard-exit" from inline execution.
+IN_WORKER = False
+
+#: Sentinel task telling a worker to exit its loop cleanly.
+SHUTDOWN = None
+
+
+def worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Run the worker loop until a shutdown sentinel arrives.
+
+    Imports of the simulator happen lazily inside
+    :func:`~repro.service.executors.execute_job`, so the loop itself
+    starts fast and a broken import surfaces as a per-job error rather
+    than a silent worker death.
+    """
+    global IN_WORKER
+    IN_WORKER = True
+    while True:
+        task = task_queue.get()
+        if task is SHUTDOWN:
+            return
+        job_id, job_dict = task
+        try:
+            from repro.service.executors import execute_job
+            from repro.service.job import Job
+
+            payload, cacheable = execute_job(Job.from_dict(job_dict))
+            result_queue.put(
+                (worker_id, job_id, "ok",
+                 {"payload": payload, "cacheable": cacheable})
+            )
+        except BaseException as error:  # noqa: BLE001 — ship, don't die
+            result_queue.put((worker_id, job_id, "error", {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": traceback.format_exc(limit=20),
+            }))
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                return

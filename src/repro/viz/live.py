@@ -1,4 +1,4 @@
-"""Live utilization metering over the controller event bus.
+"""Live metering over event buses: DRAM utilization and batch progress.
 
 Where the stack accountants post-process the complete
 :class:`~repro.dram.components.accounting.EventLog` after a run, the
@@ -6,6 +6,12 @@ Where the stack accountants post-process the complete
 (:mod:`repro.core.events`) and maintains coarse utilization counters
 while the simulation is still running — e.g. to drive a progress
 readout or an in-flight dashboard without waiting for the run to end.
+
+:class:`BatchProgressMeter` plays the same role for the parallel
+execution service (:mod:`repro.service`): it subscribes to the
+``JobStarted`` / ``JobFinished`` / ``JobFailed`` topics and keeps a
+rolling batch scoreboard plus a one-line status renderer, which the
+``dram-stacks batch`` CLI reprints as points complete.
 
 Usage::
 
@@ -140,3 +146,100 @@ class LiveUtilizationMeter:
             return 0.0
         sample = self.samples[-1]
         return sample.data_commands / sample.commands if sample.commands else 0.0
+
+
+class BatchProgressMeter:
+    """Batch scoreboard over the execution-service event topics.
+
+    Subscribes to :class:`~repro.service.events.JobStarted` /
+    :class:`~repro.service.events.JobFinished` /
+    :class:`~repro.service.events.JobFailed` and tracks how a batch is
+    going: completed/failed/cached counts, retries observed, and which
+    labels are in flight right now.
+
+    Args:
+        total: expected number of jobs (used by :meth:`status_line`;
+            0 renders counts without a denominator).
+
+    Like the utilization meter, it is a plain subscriber:
+    :meth:`attach` / :meth:`detach` wire it to any
+    :class:`~repro.core.events.EventBus` (normally
+    ``ExecutionService(...).bus``).
+    """
+
+    def __init__(self, total: int = 0) -> None:
+        self.total = total
+        self.finished = 0
+        self.failed = 0
+        self.cached = 0
+        self.retries = 0
+        #: Labels currently executing (insertion-ordered).
+        self.in_flight: dict[str, int] = {}
+
+    def attach(self, bus: EventBus) -> "BatchProgressMeter":
+        """Subscribe this meter's handlers to `bus`; returns self."""
+        from repro.service.events import JobFailed, JobFinished, JobStarted
+
+        bus.subscribe(JobStarted, self.on_started)
+        bus.subscribe(JobFinished, self.on_finished)
+        bus.subscribe(JobFailed, self.on_failed)
+        return self
+
+    def detach(self, bus: EventBus) -> None:
+        """Remove this meter's handlers from `bus` (idempotent)."""
+        from repro.service.events import JobFailed, JobFinished, JobStarted
+
+        bus.unsubscribe(JobStarted, self.on_started)
+        bus.unsubscribe(JobFinished, self.on_finished)
+        bus.unsubscribe(JobFailed, self.on_failed)
+
+    # ------------------------------------------------------------------
+    # Bus handlers
+    # ------------------------------------------------------------------
+    def on_started(self, event) -> None:
+        """Handle one JobStarted (attempts > 1 count as retries)."""
+        self.in_flight[event.label] = event.attempt
+        if event.attempt > 1:
+            self.retries += 1
+
+    def on_finished(self, event) -> None:
+        """Handle one JobFinished."""
+        self.in_flight.pop(event.label, None)
+        self.finished += 1
+        if event.cached:
+            self.cached += 1
+
+    def on_failed(self, event) -> None:
+        """Handle one JobFailed (only terminal failures count)."""
+        if event.final:
+            self.in_flight.pop(event.label, None)
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> int:
+        """Jobs with a terminal outcome (finished or failed)."""
+        return self.finished + self.failed
+
+    def status_line(self) -> str:
+        """One-line scoreboard, e.g. ``12/16 done (3 cached, 1 failed)``.
+
+        In-flight labels are appended while anything is running.
+        """
+        total = f"/{self.total}" if self.total else ""
+        parts = []
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        line = f"{self.done}{total} done"
+        if parts:
+            line += f" ({', '.join(parts)})"
+        if self.in_flight:
+            running = ", ".join(list(self.in_flight)[:4])
+            if len(self.in_flight) > 4:
+                running += ", ..."
+            line += f" | running: {running}"
+        return line

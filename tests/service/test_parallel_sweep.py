@@ -1,0 +1,98 @@
+"""Determinism and cache-warming contract of the parallel sweep.
+
+The acceptance criteria of the execution service, end to end: a
+multiprocess sweep must produce the exact per-point fingerprints the
+serial path does, and a warm cache must make a re-run near-free. The
+speedup assertion only runs on machines with enough cores to show one.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.sweep import grid, run_sweep
+
+#: Small enough for CI, large enough that 16 points dominate noise.
+TINY = ExperimentScale("tiny", synthetic_accesses=1_200)
+
+WORKERS = 4
+SPEEDUP_FLOOR = 2.5
+WARM_FRACTION = 0.10
+
+
+def sixteen_points():
+    points = grid(
+        patterns=("sequential", "random"),
+        cores=(1, 2),
+        store_fractions=(0.0, 0.25),
+        page_policies=("open", "closed"),
+    )
+    assert len(points) == 16
+    return points
+
+
+def fingerprints(result):
+    return [record.fingerprint for record in result.records]
+
+
+@pytest.mark.slow
+class TestParallelSweep:
+    def test_parallel_matches_serial_and_cache_warms(self, tmp_path):
+        points = sixteen_points()
+        cache_dir = str(tmp_path / "cache")
+
+        serial_start = time.perf_counter()
+        serial = run_sweep(points, scale=TINY)
+        serial_s = time.perf_counter() - serial_start
+        assert serial.complete
+        assert all(serial_fp for serial_fp in fingerprints(serial))
+
+        cold_start = time.perf_counter()
+        cold = run_sweep(points, scale=TINY, jobs=WORKERS, cache=cache_dir)
+        cold_s = time.perf_counter() - cold_start
+        assert cold.complete
+        # The determinism contract: per-point fingerprints are identical
+        # whether the grid ran in-process or across 4 spawn workers.
+        assert fingerprints(cold) == fingerprints(serial)
+        assert not any(record.cached for record in cold.records)
+
+        warm_start = time.perf_counter()
+        warm = run_sweep(points, scale=TINY, jobs=WORKERS, cache=cache_dir)
+        warm_s = time.perf_counter() - warm_start
+        assert warm.complete
+        assert fingerprints(warm) == fingerprints(serial)
+        assert all(record.cached for record in warm.records)
+        # A fully warm batch is served from disk without spawning a
+        # single worker, so it must be a small fraction of the cold run.
+        assert warm_s < WARM_FRACTION * cold_s, (
+            f"warm re-run took {warm_s:.2f}s vs cold {cold_s:.2f}s"
+        )
+
+        # Wall-clock speedup needs real cores; fingerprint equality
+        # above is asserted unconditionally.
+        if (os.cpu_count() or 1) >= WORKERS:
+            assert serial_s / cold_s >= SPEEDUP_FLOOR, (
+                f"16 points on {WORKERS} workers: serial {serial_s:.2f}s "
+                f"vs parallel {cold_s:.2f}s"
+            )
+
+    def test_stacks_round_trip_bit_identical(self, tmp_path):
+        points = sixteen_points()[:2]
+        serial = run_sweep(points, scale=TINY)
+        cached = run_sweep(
+            points, scale=TINY, cache=str(tmp_path / "cache")
+        )
+        warm = run_sweep(
+            points, scale=TINY, cache=str(tmp_path / "cache")
+        )
+        for a, b, c in zip(
+            serial.records, cached.records, warm.records
+        ):
+            assert dict(a.bandwidth.as_rows()) == \
+                dict(b.bandwidth.as_rows()) == dict(c.bandwidth.as_rows())
+            assert dict(a.latency.as_rows()) == \
+                dict(b.latency.as_rows()) == dict(c.latency.as_rows())
+            assert a.achieved_gbps == b.achieved_gbps == c.achieved_gbps
+            assert a.avg_latency_ns == b.avg_latency_ns == c.avg_latency_ns

@@ -1,0 +1,95 @@
+"""Tests for the spawn-based worker pool and pooled orchestration.
+
+These spawn real worker processes (a second or so each), so batches
+are kept small and probe jobs do the misbehaving — no simulator runs.
+"""
+
+import time
+
+import pytest
+
+from repro.core.events import EventBus
+from repro.errors import (
+    ConfigurationError,
+    SimulationTimeoutError,
+    WorkerCrashError,
+)
+from repro.service import ExecutionService, Job, JobFailed, WorkerPool
+
+
+class TestPoolValidation:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(0)
+
+    def test_dispatch_returns_none_when_saturated(self):
+        with WorkerPool(1) as pool:
+            assert pool.dispatch(0, Job("probe", {"sleep_s": 5.0})) == 0
+            assert pool.dispatch(1, Job("probe", {"value": 1})) is None
+            assert pool.idle_workers == 0 and pool.in_flight == 1
+
+
+class TestParallelExecution:
+    def test_batch_completes_with_aligned_payloads(self):
+        jobs = [Job("probe", {"value": i}) for i in range(4)]
+        result = ExecutionService(workers=2).run(jobs)
+        assert result.complete
+        assert result.executed == 4 and result.cache_hits == 0
+        assert [p["value"] for p in result.payloads] == [0, 1, 2, 3]
+
+    def test_on_result_called_once_per_job(self):
+        seen = []
+        jobs = [Job("probe", {"value": i}) for i in range(3)]
+        ExecutionService(workers=2).run(
+            jobs, on_result=lambda i, j, p, c: seen.append((i, c))
+        )
+        assert sorted(seen) == [(0, False), (1, False), (2, False)]
+
+
+class TestCrashIsolation:
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        bus = EventBus()
+        failures = []
+        bus.subscribe(JobFailed, failures.append)
+        job = Job(
+            "probe",
+            {"crash_times": 1, "marker_dir": str(tmp_path), "value": 7},
+        )
+        service = ExecutionService(
+            workers=2, retries=1, backoff_s=0.01, bus=bus
+        )
+        result = service.run([job])
+        assert result.complete
+        assert result.payloads[0] == {"value": 7, "attempt": 2}
+        assert [f.final for f in failures] == [False]
+        assert failures[0].error_type == "WorkerCrashError"
+
+    def test_persistent_crash_exhausts_retries(self, tmp_path):
+        healthy = Job("probe", {"value": 1})
+        doomed = Job(
+            "probe", {"crash_times": 99, "marker_dir": str(tmp_path)}
+        )
+        service = ExecutionService(workers=2, retries=1, backoff_s=0.01)
+        result = service.run([doomed, healthy])
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.index == 0 and failure.attempts == 2
+        assert isinstance(failure.error, WorkerCrashError)
+        # Crash isolation: the other job on the pool still completed.
+        assert result.payloads[1] == {"value": 1, "attempt": 1}
+
+
+class TestHardTimeout:
+    def test_runaway_job_is_killed(self):
+        # The probe ignores cooperative guards entirely, so only the
+        # pool's hard deadline (timeout * 1.25 + grace) can stop it.
+        job = Job("probe", {"sleep_s": 60.0}, timeout_s=0.5)
+        start = time.monotonic()
+        result = ExecutionService(workers=2).run(
+            [job, Job("probe", {"value": 2})]
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # killed, not waited out
+        assert len(result.failures) == 1
+        assert isinstance(result.failures[0].error, SimulationTimeoutError)
+        assert result.payloads[1] == {"value": 2, "attempt": 1}

@@ -1,0 +1,130 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.cache import ResultCache
+from repro.service.job import Job
+
+
+def make_job(cores=1):
+    return Job("synthetic", {"pattern": "sequential", "cores": cores})
+
+
+class TestHitMiss:
+    def test_miss_then_put_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        assert cache.get(job.digest()) is None
+        cache.put(job, {"value": 42})
+        assert cache.get(job.digest()) == {"value": 42}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_payload_floats_round_trip_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        value = 0.1 + 0.2  # not representable prettily
+        cache.put(job, {"gbps": value})
+        assert cache.get(job.digest())["gbps"] == value
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_job(cores=1), {"cores": 1})
+        assert cache.get(make_job(cores=2).digest()) is None
+        assert cache.get(make_job(cores=1).digest()) == {"cores": 1}
+
+    def test_hit_rate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        assert cache.stats.hit_rate == 0.0
+        cache.get(job.digest())
+        cache.put(job, {})
+        cache.get(job.digest())
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, {"value": 1})
+        path = cache.path_for(job.digest())
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get(job.digest()) is None
+        assert not path.exists()
+        assert cache.stats.invalid == 1
+
+    def test_digest_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, {"value": 1})
+        path = cache.path_for(job.digest())
+        body = json.loads(path.read_text())
+        body["digest"] = "0" * 64
+        path.write_text(json.dumps(body), encoding="utf-8")
+        assert cache.get(job.digest()) is None
+
+    def test_foreign_format_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = make_job()
+        cache.put(job, {"value": 1})
+        path = cache.path_for(job.digest())
+        body = json.loads(path.read_text())
+        body["format"] = 999
+        path.write_text(json.dumps(body), encoding="utf-8")
+        assert cache.get(job.digest()) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(make_job(), {"value": 1})
+        leftovers = [
+            p for p in tmp_path.rglob("*") if p.is_file()
+            and p.suffix != ".json"
+        ]
+        assert leftovers == []
+
+
+class TestEviction:
+    def test_rejects_bad_cap(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, max_entries=0)
+
+    def test_evict_to_cap_removes_oldest(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        jobs = [make_job(cores=c) for c in (1, 2, 3, 4)]
+        base = time.time() - 1000
+        for i, job in enumerate(jobs):
+            path = cache.put(job, {"i": i})
+            os.utime(path, (base + i, base + i))
+        assert len(cache) == 4
+        removed = cache.evict(max_entries=2)
+        assert removed == 2
+        assert cache.get(jobs[0].digest()) is None
+        assert cache.get(jobs[3].digest()) == {"i": 3}
+
+    def test_evict_by_age(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        old, new = make_job(cores=1), make_job(cores=2)
+        stale = time.time() - 10_000
+        os.utime(cache.put(old, {}), (stale, stale))
+        cache.put(new, {})
+        assert cache.evict(max_age_s=5_000) == 1
+        assert cache.get(old.digest()) is None
+        assert cache.get(new.digest()) == {}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for c in (1, 2):
+            cache.put(make_job(cores=c), {})
+        assert cache.clear() == 2
+        assert len(cache) == 0

@@ -86,6 +86,57 @@ class TestPhases:
         assert "phase(s):" in out
 
 
+class TestBatch:
+    def test_grid_runs_with_cache_and_exports(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        jsonl = tmp_path / "sweep.jsonl"
+        csv = tmp_path / "sweep.csv"
+        argv = [
+            "batch", "--patterns", "sequential,random", "--cores", "1",
+            "--scale", "ci", "--cache-dir", cache_dir,
+            "--jsonl", str(jsonl), "--csv", str(csv),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 point(s)" in out
+        assert "2/2 done" in out
+        assert "best bandwidth:" in out
+
+        lines = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert len(lines) == 2
+        assert all(line["kind"] == "record" for line in lines)
+        assert all(len(line["fingerprint"]) == 64 for line in lines)
+        assert csv.read_text().startswith("pattern,cores,")
+
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "(cache)" in out
+        warm = [
+            json.loads(line) for line in jsonl.read_text().splitlines()
+        ]
+        assert all(line["cached"] for line in warm)
+        assert [w["fingerprint"] for w in warm] == [
+            c["fingerprint"] for c in lines
+        ]
+
+    def test_empty_grid_is_a_configuration_error(self, capsys):
+        assert main(["batch", "--patterns", ""]) == 3
+        assert "ConfigurationError" in capsys.readouterr().err
+
+    def test_quiet_suppresses_per_point_lines(self, tmp_path, capsys):
+        assert main([
+            "batch", "--patterns", "sequential", "--scale", "ci",
+            "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "  [" not in out and "batch:" in out
+
+
 class TestExitCodes:
     """ReproError subclasses map to distinct exit codes with one-line
     stderr messages — no tracebacks. Verified in-process and through a
