@@ -70,6 +70,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format", choices=("report", "csv", "json"), default="report",
         help="output format: human report, CSV table, or JSON",
     )
+    analyze.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="profile the run with cProfile and dump pstats data to "
+        "PATH (inspect with `python -m pstats PATH`)",
+    )
     _add_reliability_args(analyze)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
@@ -133,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--quiet", action="store_true",
         help="suppress per-point progress lines",
+    )
+    batch.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help="dump one cProfile pstats file per point into DIR "
+        "(serial-only: requires --jobs 1 and no --cache-dir)",
     )
 
     phases = sub.add_parser(
@@ -232,6 +242,26 @@ def _guard_from_args(args: argparse.Namespace):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            status = _run_analyze(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+        print(
+            f"profile written to {args.profile} "
+            f"(inspect with `python -m pstats {args.profile}`)",
+            file=sys.stderr,
+        )
+        return status
+    return _run_analyze(args)
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
     guard = _guard_from_args(args)
     if args.workload in GAP_KERNELS:
         result, workload = run_gap(
@@ -312,44 +342,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not points:
         raise ConfigurationError("the requested grid is empty")
 
-    bus = EventBus()
-    meter = BatchProgressMeter(total=len(points)).attach(bus)
-    if not args.quiet:
-        def _print_finished(event) -> None:
-            marker = "cache" if event.cached else f"{event.elapsed_s:.1f}s"
-            print(f"  [{meter.status_line()}] {event.label} ({marker})",
-                  flush=True)
+    profiling = args.profile_dir is not None
+    if profiling and (args.jobs > 1 or args.cache_dir is not None):
+        raise ConfigurationError(
+            "--profile-dir is serial-only: profiles from worker "
+            "processes or cache hits would be meaningless; use "
+            "--jobs 1 without --cache-dir"
+        )
+    # Profiled sweeps run on run_sweep's plain serial path (the event
+    # bus would route them through the execution service, which rejects
+    # profile_dir); per-point progress uses the `progress` callback.
+    bus = None if profiling else EventBus()
+    meter = None
+    progress = None
+    if bus is not None:
+        meter = BatchProgressMeter(total=len(points)).attach(bus)
+        if not args.quiet:
+            def _print_finished(event) -> None:
+                marker = (
+                    "cache" if event.cached else f"{event.elapsed_s:.1f}s"
+                )
+                print(f"  [{meter.status_line()}] {event.label} ({marker})",
+                      flush=True)
 
-        def _print_failed(event) -> None:
-            stage = "FAILED" if event.final else "retrying"
-            print(
-                f"  [{meter.status_line()}] {event.label} {stage}: "
-                f"{event.error_type}: {event.message}",
-                flush=True,
-            )
+            def _print_failed(event) -> None:
+                stage = "FAILED" if event.final else "retrying"
+                print(
+                    f"  [{meter.status_line()}] {event.label} {stage}: "
+                    f"{event.error_type}: {event.message}",
+                    flush=True,
+                )
 
-        bus.subscribe(JobFinished, _print_finished)
-        bus.subscribe(JobFailed, _print_failed)
+            bus.subscribe(JobFinished, _print_finished)
+            bus.subscribe(JobFailed, _print_failed)
+    elif not args.quiet:
+        def progress(record) -> None:
+            print(f"  {record.point.label} done", flush=True)
 
     print(
         f"batch: {len(points)} point(s) at scale {args.scale!r} on "
         f"{args.jobs} worker(s)"
         + (f", cache {args.cache_dir}" if args.cache_dir else "")
+        + (f", profiles to {args.profile_dir}" if profiling else "")
     )
     result = run_sweep(
         points,
         scale=args.scale,
+        progress=progress,
         timeout_s=args.timeout,
         retries=args.retries,
         jobs=args.jobs,
         cache=args.cache_dir,
         bus=bus,
         jsonl_path=args.jsonl,
+        profile_dir=args.profile_dir,
     )
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(result.to_csv())
-    print(f"batch: {meter.status_line()}")
+    if meter is not None:
+        print(f"batch: {meter.status_line()}")
+    else:
+        print(
+            f"batch: {len(result.records)} ok, "
+            f"{len(result.failures)} failed"
+        )
     if result.records:
         best = result.best_bandwidth()
         print(

@@ -10,12 +10,13 @@ and stall time is attributable to cache vs. DRAM-base vs. DRAM-queue.
 """
 
 from repro.cpu.cache import CacheConfig, SetAssociativeCache, SharedCache
-from repro.cpu.core import CoreConfig, IntervalCore
+from repro.cpu.core import CORE_ENGINES, CoreConfig, IntervalCore
 from repro.cpu.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.cpu.prefetcher import PrefetcherConfig, StreamPrefetcher
 from repro.cpu.system import CpuSystem, SystemConfig, SimulationResult
 
 __all__ = [
+    "CORE_ENGINES",
     "CacheConfig",
     "CacheHierarchy",
     "CoreConfig",

@@ -46,7 +46,7 @@ class CacheConfig:
         return self.size_bytes // (self.ways * self.line_bytes)
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/eviction counters for one cache."""
     hits: int = 0
@@ -72,6 +72,8 @@ class SetAssociativeCache:
     size). Each set is a dict ordered by recency (least-recent first);
     values are dirty flags.
     """
+
+    __slots__ = ("config", "name", "stats", "_set_mask", "_ways", "_sets")
 
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
@@ -138,6 +140,8 @@ class SharedCache:
     The paper keeps the shared LLC at 8 slices / 11 MB for every core
     count to factor out caching effects; this class reproduces that.
     """
+
+    __slots__ = ("config", "name", "_slices")
 
     def __init__(
         self, config: CacheConfig, slices: int = 8, name: str = "llc"

@@ -14,6 +14,12 @@ Stall time is attributed to cycle-stack components (``dcache``,
 ``dram_latency``, ``dram_queue``) using the completed request's timing.
 Stores never block retirement (Sec. V: "writes usually do not stall a
 core") but do consume MSHRs and trigger write-allocate fills.
+
+Two engines implement the dispatch loop, mirroring the controller's
+``ControllerConfig.engine`` seam: ``"fast"`` (default) runs an inlined,
+event-skipping rewrite over materialized trace blocks; ``"reference"``
+steps item-by-item exactly as the original model did. Both produce
+bit-identical results — the golden/differential tests hold them to it.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.errors import ConfigurationError
 from repro.stacks.cycle import CycleStackBuilder
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceItem:
     """One unit of work in a core's instruction trace.
 
@@ -58,6 +64,14 @@ class TraceItem:
         return self.address >= 0
 
 
+#: Core dispatch engines. ``"fast"`` runs the inlined event-skipping
+#: loop over materialized trace blocks (falling back transparently for
+#: plain iterators); ``"reference"`` keeps the original per-item
+#: stepping. Results are bit-identical; the reference engine exists so
+#: the differential tests can prove it.
+CORE_ENGINES = ("fast", "reference")
+
+
 @dataclass(frozen=True)
 class CoreConfig:
     """Core parameters, defaulting to the paper's Skylake-like setup.
@@ -76,12 +90,18 @@ class CoreConfig:
     noc_request_cycles: int = 21  # core -> memory controller
     noc_response_cycles: int = 21  # data return path
     cycle_stack_bin: int = 2_000
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.dispatch_width < 1 or self.rob_size < 1 or self.mshrs < 1:
             raise ConfigurationError("core resources must be >= 1")
         if self.freq_ratio <= 0:
             raise ConfigurationError("freq_ratio must be positive")
+        if self.engine not in CORE_ENGINES:
+            raise ConfigurationError(
+                f"unknown core engine {self.engine!r}; "
+                f"expected one of {CORE_ENGINES}"
+            )
 
     @property
     def instructions_per_cycle(self) -> float:
@@ -89,9 +109,14 @@ class CoreConfig:
         return self.dispatch_width * self.freq_ratio
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class OutstandingLoad:
-    """A load (or store fill) in flight."""
+    """A load (or store fill) in flight.
+
+    Identity semantics (``eq=False``): the window, the recent-load ring
+    and request metadata all hold *references*; the fast engine's free
+    pool relies on ``in`` meaning "this exact object".
+    """
 
     index: int  # cumulative instruction index at dispatch
     level: str  # "l2" / "llc" / "mem"
@@ -155,6 +180,7 @@ class IntervalCore:
         self._branch_penalty = config.branch_penalty
         self._noc_response = config.noc_response_cycles
         self._line_shift = hierarchy.config.l1.line_bytes.bit_length() - 1
+        self._engine_fast = config.engine == "fast"
 
         self.t = 0.0
         self._trace = iter(())
@@ -164,6 +190,15 @@ class IntervalCore:
         self._recent_loads: deque[OutstandingLoad] = deque(maxlen=64)
         self._blocked_since: float | None = None
         self._blocked_on: OutstandingLoad | None = None
+        # Fast-engine trace block: when the trace is an indexable list
+        # (or a ReplayableTrace wrapping one) the fast engine runs off
+        # `_items`/`_pos` directly instead of the `_trace` iterator.
+        self._items: list[TraceItem] | tuple[TraceItem, ...] | None = None
+        self._pos = 0
+        self._replay = None  # ReplayableTrace whose cursor mirrors _pos
+        # Free pool of OutstandingLoad objects safe to recycle (never
+        # referenced from request metadata or the recent-load ring).
+        self._load_pool: list[OutstandingLoad] = []
         self.state = FINISHED
 
     # ------------------------------------------------------------------
@@ -171,6 +206,22 @@ class IntervalCore:
         """Install a new instruction trace; the core becomes runnable."""
         self._trace = iter(trace)
         self._pending = None
+        self._replay = None
+        self._pos = 0
+        if isinstance(trace, (list, tuple)):
+            self._items = trace
+        else:
+            # ReplayableTrace, duck-typed so this module need not import
+            # the reliability package: run off its backing list and
+            # mirror the cursor so checkpoints observe trace progress.
+            items = getattr(trace, "_items", None)
+            pos = getattr(trace, "_pos", None)
+            if type(items) is list and type(pos) is int:
+                self._items = items
+                self._pos = pos
+                self._replay = trace
+            else:
+                self._items = None
         self.state = RUNNING
 
     @property
@@ -262,6 +313,12 @@ class IntervalCore:
         """Run until blocked, a barrier, trace end, or `quantum` cycles."""
         if self.state in (FINISHED, BLOCKED):
             return self.state
+        if self._engine_fast:
+            return self._advance_fast(quantum)
+        return self._advance_reference(quantum)
+
+    def _advance_reference(self, quantum: float) -> str:
+        """Original per-item stepping, kept as the differential oracle."""
         deadline = self.t + quantum
         while self.t < deadline:
             self._retire_completed()
@@ -288,6 +345,303 @@ class IntervalCore:
                 return self.state  # blocked on dependency or MSHRs
             self._pending = None
         return self.state
+
+    def _leave_fast(
+        self, t: float, pos: int, item: TraceItem | None, state: str
+    ) -> str:
+        """Write the fast loop's hoisted state back, then return."""
+        self.t = t
+        self._pos = pos
+        self._pending = item
+        replay = self._replay
+        if replay is not None:
+            replay._pos = pos
+        self.state = state
+        return state
+
+    def _advance_fast(self, quantum: float) -> str:
+        """Event-skipping rewrite of :meth:`_advance_reference`.
+
+        Same arithmetic in the same order, on hoisted locals: every
+        float the reference path adds to ``self.t`` or to the cycle
+        stack is produced by an identical expression here, so results
+        stay bit-identical (the differential matrix in ``tests/golden``
+        holds both engines to that). Falls back to the reference stepper
+        when the trace was not materialized as an indexable block.
+        """
+        items = self._items
+        if items is None:
+            return self._advance_reference(quantum)
+        t = self.t
+        deadline = t + quantum
+        pos = self._pos
+        n = len(items)
+        outstanding = self._outstanding
+        stats = self.stats
+        cycle_stack = self.cycle_stack
+        add = cycle_stack.add
+        # Inlined single-bin fast path of CycleStackBuilder.add: `bins`
+        # aliases the builder's list (only ever appended to, never
+        # rebound), and anything outside the common case — bin-crossing
+        # intervals, unallocated bins, sub-epsilon durations — falls
+        # back to add() itself, so the accumulated floats are identical.
+        bins = cycle_stack._bins
+        bin_cycles = cycle_stack.bin_cycles
+        ipc = self._ipc
+        rob_size = self._rob_size
+        recent = self._recent_loads
+        recent_cap = recent.maxlen
+        pool = self._load_pool
+        memory = self._memory
+        item = self._pending
+
+        while t < deadline:
+            # Retire completed loads at the head of the window.
+            while outstanding:
+                head = outstanding[0]
+                hc = head.complete
+                if hc is None or hc > t:
+                    break
+                outstanding.popleft()
+                self._mshr_used -= 1
+                if head.is_store and head.request is None:
+                    pool.append(head)
+            if item is None:
+                if pos >= n:
+                    return self._leave_fast(t, pos, None, FINISHED)
+                item = items[pos]
+                pos += 1
+
+            if item.barrier:
+                # The driver releases barriers; stay pending until then.
+                return self._leave_fast(t, pos, item, AT_BARRIER)
+
+            # Dispatch item.instructions, honoring the ROB bound.
+            remaining = item.instructions
+            while remaining > 0:
+                blocking = None
+                for o in outstanding:
+                    if not o.is_store:
+                        oc = o.complete
+                        if oc is None or oc > t:
+                            blocking = o
+                            break
+                if blocking is None:
+                    room = rob_size
+                else:
+                    room = rob_size - (stats.instructions - blocking.index)
+                    if room <= 0:
+                        bc = blocking.complete
+                        if bc is None:
+                            self._blocked_since = t
+                            self._blocked_on = blocking
+                            return self._leave_fast(t, pos, item, BLOCKED)
+                        self._charge_stall(blocking, t, bc)
+                        if bc > t:
+                            t = bc
+                        while outstanding:
+                            head = outstanding[0]
+                            hc = head.complete
+                            if hc is None or hc > t:
+                                break
+                            outstanding.popleft()
+                            self._mshr_used -= 1
+                            if head.is_store and head.request is None:
+                                pool.append(head)
+                        continue
+                chunk = remaining if remaining < room else room
+                duration = chunk / ipc
+                index = int(t // bin_cycles)
+                if (
+                    duration > 1e-12
+                    and index < len(bins)
+                    and t + duration <= (index + 1) * bin_cycles
+                ):
+                    bins[index]["base"] += duration
+                else:
+                    add("base", t, duration)
+                t += duration
+                stats.instructions += chunk
+                remaining -= chunk
+
+            bm = item.branch_mispredicts
+            if bm:
+                penalty = bm * self._branch_penalty
+                index = int(t // bin_cycles)
+                if (
+                    penalty > 1e-12
+                    and index < len(bins)
+                    and t + penalty <= (index + 1) * bin_cycles
+                ):
+                    bins[index]["branch"] += penalty
+                else:
+                    add("branch", t, penalty)
+                t += penalty
+
+            address = item.address
+            if address < 0:
+                item = None
+                if outstanding:
+                    continue
+                # Pure-compute run with an empty window: nothing can
+                # retire or block, so fold the whole run of non-memory
+                # items in one sweep (identical per-item arithmetic).
+                while t < deadline and pos < n:
+                    nxt = items[pos]
+                    if nxt.address >= 0 or nxt.barrier:
+                        break
+                    pos += 1
+                    remaining = nxt.instructions
+                    while remaining > 0:
+                        chunk = (
+                            remaining if remaining < rob_size else rob_size
+                        )
+                        duration = chunk / ipc
+                        index = int(t // bin_cycles)
+                        if (
+                            duration > 1e-12
+                            and index < len(bins)
+                            and t + duration <= (index + 1) * bin_cycles
+                        ):
+                            bins[index]["base"] += duration
+                        else:
+                            add("base", t, duration)
+                        t += duration
+                        stats.instructions += chunk
+                        remaining -= chunk
+                    bm = nxt.branch_mispredicts
+                    if bm:
+                        penalty = bm * self._branch_penalty
+                        index = int(t // bin_cycles)
+                        if (
+                            penalty > 1e-12
+                            and index < len(bins)
+                            and t + penalty <= (index + 1) * bin_cycles
+                        ):
+                            bins[index]["branch"] += penalty
+                        else:
+                            add("branch", t, penalty)
+                        t += penalty
+                continue
+
+            # Memory operation (inlined _issue_memory).
+            distance = item.dependency_distance
+            if 0 < distance <= len(recent):
+                producer = recent[-distance]
+                pc = producer.complete
+                if pc is None:
+                    self._blocked_since = t
+                    self._blocked_on = producer
+                    return self._leave_fast(t, pos, item, BLOCKED)
+                if pc > t:
+                    self._charge_stall(producer, t, pc)
+                    t = pc
+                    while outstanding:
+                        head = outstanding[0]
+                        hc = head.complete
+                        if hc is None or hc > t:
+                            break
+                        outstanding.popleft()
+                        self._mshr_used -= 1
+                        if head.is_store and head.request is None:
+                            pool.append(head)
+            if self._mshr_used >= self._mshrs:
+                earliest = None
+                earliest_t = None
+                for o in outstanding:
+                    oc = o.complete
+                    if oc is not None and (
+                        earliest_t is None or oc < earliest_t
+                    ):
+                        earliest = o
+                        earliest_t = oc
+                if earliest is None:
+                    self._blocked_since = t
+                    self._blocked_on = None
+                    return self._leave_fast(t, pos, item, BLOCKED)
+                self._charge_stall(earliest, t, earliest_t)
+                if earliest_t > t:
+                    t = earliest_t
+                while outstanding:
+                    head = outstanding[0]
+                    hc = head.complete
+                    if hc is None or hc > t:
+                        break
+                    outstanding.popleft()
+                    self._mshr_used -= 1
+                    if head.is_store and head.request is None:
+                        pool.append(head)
+                if self._mshr_used >= self._mshrs:
+                    # Completed-but-not-head entries keep MSHRs; drain
+                    # harder (reads self.t — sync first).
+                    self.t = t
+                    self._drain_one_mshr()
+
+            is_store = item.is_store
+            line = address >> self._line_shift
+            level, latency, writebacks, prefetches, pending = (
+                memory.cache_access_fast(self, line, is_store)
+            )
+            stats.memory_ops += 1
+            if is_store:
+                stats.stores += 1
+            else:
+                stats.loads += 1
+
+            if level == "l1":
+                stats.l1_hits += 1
+                if writebacks:
+                    memory.issue_writebacks(self, writebacks, t)
+                item = None
+                continue
+
+            if pool:
+                load = pool.pop()
+                load.index = stats.instructions
+                load.level = level
+                load.complete = None
+                load.is_store = is_store
+                load.request = None
+            else:
+                load = OutstandingLoad(
+                    stats.instructions, level, None, is_store
+                )
+            if pending is not None:
+                # The line is already on its way from DRAM (a prefetch
+                # or another core's demand miss): wait on that request.
+                load.level = "mem"
+                load.request = pending
+                stats.dram_pending_hits += 1
+                memory.attach_waiter(pending, self, load)
+            elif level == "mem":
+                stats.dram_loads += 1
+                load.request = memory.issue_read(
+                    self, load, line, t + latency, is_prefetch=False
+                )
+            else:
+                if level == "l2":
+                    stats.l2_hits += 1
+                else:
+                    stats.llc_hits += 1
+                load.complete = t + latency
+            outstanding.append(load)
+            self._mshr_used += 1
+            if not is_store:
+                if len(recent) == recent_cap:
+                    # The ring is about to evict its oldest entry; it is
+                    # recyclable unless DRAM metadata or the window
+                    # still reference it.
+                    old = recent[0]
+                    if old.request is None and old not in outstanding:
+                        pool.append(old)
+                recent.append(load)
+            if writebacks:
+                memory.issue_writebacks(self, writebacks, t)
+            if prefetches:
+                memory.issue_prefetches(self, prefetches, t)
+            item = None
+
+        return self._leave_fast(t, pos, item, RUNNING)
 
     def finish_barrier(self, release_time: float) -> None:
         """Release from a barrier; idle time until `release_time`."""

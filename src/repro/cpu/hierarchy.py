@@ -70,6 +70,14 @@ class CacheHierarchy:
     hierarchies of all cores.
     """
 
+    __slots__ = (
+        "config", "l1", "l2", "llc", "prefetcher", "_line_bits",
+        "_l1_latency", "_l2_lookup", "_llc_lookup",
+        "_l1_sets", "_l1_mask", "_l1_ways", "_l1_stats",
+        "_l2_sets", "_l2_mask", "_l2_ways", "_l2_stats",
+        "_llc_slices", "_llc_n",
+    )
+
     def __init__(
         self, config: HierarchyConfig, shared_llc: SharedCache
     ) -> None:
@@ -83,6 +91,19 @@ class CacheHierarchy:
         self._l1_latency = config.l1.latency
         self._l2_lookup = config.l1.latency + config.l2.latency
         self._llc_lookup = self._l2_lookup + config.llc.latency
+        # Aliases into the cache arrays for the allocation-free fast
+        # path. These reference (never copy) the caches' own state, so
+        # `access` and `access_fast` stay interchangeable mid-run.
+        self._l1_sets = self.l1._sets
+        self._l1_mask = self.l1._set_mask
+        self._l1_ways = self.l1._ways
+        self._l1_stats = self.l1.stats
+        self._l2_sets = self.l2._sets
+        self._l2_mask = self.l2._set_mask
+        self._l2_ways = self.l2._ways
+        self._l2_stats = self.l2.stats
+        self._llc_slices = shared_llc._slices
+        self._llc_n = len(shared_llc._slices)
 
     def line_of(self, address: int) -> int:
         """Cache-line number of a byte address."""
@@ -115,6 +136,94 @@ class CacheHierarchy:
         self._fill_l1(line, is_write, writebacks)
         return AccessResult("mem", self._llc_lookup, writebacks, prefetches)
 
+    def access_fast(
+        self, line: int, is_write: bool
+    ) -> tuple[str, int, list[int] | tuple, list[int] | tuple]:
+        """Allocation-free twin of :meth:`access` for the hot path.
+
+        Returns ``(level, latency, writebacks, prefetch_lines)`` as a
+        plain tuple instead of an :class:`AccessResult`, probing the set
+        dicts directly. State updates, statistics and fill/eviction
+        order are identical to :meth:`access` — the cache-property tests
+        in ``tests/cpu`` compare the two on random traces.
+        """
+        s1 = self._l1_sets[line & self._l1_mask]
+        if line in s1:
+            s1[line] = s1.pop(line) or is_write
+            self._l1_stats.hits += 1
+            return "l1", self._l1_latency, (), ()
+        self._l1_stats.misses += 1
+
+        writebacks: list[int] = []
+        s2 = self._l2_sets[line & self._l2_mask]
+        if line in s2:
+            dirty = s2.pop(line)
+            s2[line] = dirty
+            self._l2_stats.hits += 1
+            self._fill_l1_fast(s1, line, is_write, writebacks)
+            return "l2", self._l2_lookup, writebacks, ()
+        self._l2_stats.misses += 1
+
+        prefetches = self._prefetch(line, writebacks)
+        llc = self._llc_slices[line % self._llc_n]
+        sl = llc._sets[line & llc._set_mask]
+        if line in sl:
+            sl[line] = sl.pop(line)
+            llc.stats.hits += 1
+            self._fill_l2_fast(line, writebacks)
+            self._fill_l1_fast(s1, line, is_write, writebacks)
+            return "llc", self._llc_lookup, writebacks, prefetches
+        llc.stats.misses += 1
+
+        # DRAM access: fill every level now (timing handled by the core).
+        # `line` cannot be in this slice set (we just missed), so the
+        # demand fill skips insert()'s membership check; victim inserts
+        # keep it (see the _fill_*_fast helpers).
+        if len(sl) >= llc._ways:
+            victim = next(iter(sl))
+            was_dirty = sl.pop(victim)
+            llc.stats.evictions += 1
+            if was_dirty:
+                llc.stats.dirty_evictions += 1
+                writebacks.append(victim)
+        sl[line] = False
+        self._fill_l2_fast(line, writebacks)
+        self._fill_l1_fast(s1, line, is_write, writebacks)
+        return "mem", self._llc_lookup, writebacks, prefetches
+
+    def _fill_l1_fast(
+        self,
+        s1: dict[int, bool],
+        line: int,
+        is_write: bool,
+        writebacks: list[int],
+    ) -> None:
+        """Fill `line` (known absent) into the L1 set `s1`."""
+        if len(s1) >= self._l1_ways:
+            victim = next(iter(s1))
+            was_dirty = s1.pop(victim)
+            stats = self._l1_stats
+            stats.evictions += 1
+            if was_dirty:
+                stats.dirty_evictions += 1
+                # The victim may already sit in L2, so the cascade goes
+                # through insert()'s membership-checking path.
+                self._fill_l2(victim, writebacks, dirty=True)
+        s1[line] = is_write
+
+    def _fill_l2_fast(self, line: int, writebacks: list[int]) -> None:
+        """Fill `line` (known absent, clean) into its L2 set."""
+        s2 = self._l2_sets[line & self._l2_mask]
+        if len(s2) >= self._l2_ways:
+            victim = next(iter(s2))
+            was_dirty = s2.pop(victim)
+            stats = self._l2_stats
+            stats.evictions += 1
+            if was_dirty:
+                stats.dirty_evictions += 1
+                self._fill_llc(victim, dirty=True, writebacks=writebacks)
+        s2[line] = False
+
     # ------------------------------------------------------------------
     def _fill_l1(
         self, line: int, is_write: bool, writebacks: list[int]
@@ -144,11 +253,18 @@ class CacheHierarchy:
         :meth:`fill_prefetched`) only for the prefetches it actually
         issues, so dropped prefetches leave no phantom cache state.
         """
-        return [
-            pf_line
-            for pf_line in self.prefetcher.observe(line)
-            if pf_line >= 0 and not self.llc.contains(pf_line)
-        ]
+        candidates = self.prefetcher.observe(line)
+        if not candidates:
+            return candidates
+        slices = self._llc_slices
+        n = self._llc_n
+        out = []
+        for pf_line in candidates:
+            if pf_line >= 0:
+                sl = slices[pf_line % n]
+                if pf_line not in sl._sets[pf_line & sl._set_mask]:
+                    out.append(pf_line)
+        return out
 
     def fill_prefetched(self, line: int) -> list[int]:
         """Install an issued prefetch into the LLC; returns writebacks."""

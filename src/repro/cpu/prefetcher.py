@@ -40,11 +40,15 @@ class PrefetcherConfig:
 class _Stream:
     """One tracked stream: last line, stride, confirmation state.
 
-    ``radius`` caches the match window ``max(2 * |stride|, 8)`` so the
-    per-access stream scan avoids recomputing it.
+    ``radius`` caches the match window ``max(2 * |stride|, 8)``; ``lo``
+    and ``hi`` cache ``last_line ± radius`` so the per-access stream
+    scan is two comparisons with no arithmetic at all.
     """
 
-    __slots__ = ("last_line", "stride", "confirmed", "next_prefetch", "radius")
+    __slots__ = (
+        "last_line", "stride", "confirmed", "next_prefetch", "radius",
+        "lo", "hi",
+    )
 
     def __init__(self, line: int) -> None:
         self.last_line = line
@@ -52,6 +56,8 @@ class _Stream:
         self.confirmed = False
         self.next_prefetch = line + 1
         self.radius = 8
+        self.lo = line - 8
+        self.hi = line + 8
 
 
 class StreamPrefetcher:
@@ -61,6 +67,8 @@ class StreamPrefetcher:
     address / line size); it returns the lines to prefetch. A stream is
     confirmed after two accesses with the same stride.
     """
+
+    __slots__ = ("config", "_streams", "issued")
 
     def __init__(self, config: PrefetcherConfig | None = None) -> None:
         self.config = config or PrefetcherConfig()
@@ -87,6 +95,9 @@ class StreamPrefetcher:
             stream.confirmed = False
             stream.next_prefetch = line + delta
         stream.last_line = line
+        radius = stream.radius
+        stream.lo = line - radius
+        stream.hi = line + radius
         if not stream.confirmed:
             return []
         return self._issue(stream, line)
@@ -113,8 +124,7 @@ class StreamPrefetcher:
         """Find the tracked stream this access plausibly belongs to."""
         best_key = None
         for key, stream in self._streams.items():
-            delta = line - stream.last_line
-            if -stream.radius <= delta <= stream.radius:
+            if stream.lo <= line <= stream.hi:
                 best_key = key
                 break
         if best_key is None:

@@ -10,7 +10,9 @@ the paper's Sniper setup uses).
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
 
 from repro.cpu.core import (
     AT_BARRIER,
@@ -80,6 +82,9 @@ class CpuSystem:
         #: from checkpoints on save; re-armed by `resume`.
         self._guard: ReliabilityGuard | None = None
         self._max_cycles: int | None = None
+        #: Wake heap of (t, core_index) for RUNNING cores; rebuilt at
+        #: the top of every `_run_loop` call (see there for invariants).
+        self._wake_heap: list[tuple[float, int]] = []
 
     # ------------------------------------------------------------------
     # Memory interface used by the cores
@@ -98,6 +103,24 @@ class CpuSystem:
             if pending is not None:
                 return result, pending
         return result, None
+
+    def cache_access_fast(
+        self, core: IntervalCore, line: int, is_write: bool
+    ) -> tuple[str, int, list | tuple, list | tuple, Request | None]:
+        """Tuple-returning twin of :meth:`cache_access`.
+
+        Used by the fast core engine: same cache-state updates and
+        pending-line detection, but returns
+        ``(level, latency, writebacks, prefetch_lines, pending)``
+        without building an :class:`AccessResult`.
+        """
+        level, latency, writebacks, prefetches = (
+            core.hierarchy.access_fast(line, is_write)
+        )
+        pending = None
+        if level != "l1" and level != "l2":
+            pending = self._pending_lines.get(line)
+        return level, latency, writebacks, prefetches, pending
 
     def attach_waiter(
         self, request: Request, core: IntervalCore, load: OutstandingLoad
@@ -236,36 +259,88 @@ class CpuSystem:
         cores = self.cores
         quantum = self.config.quantum
         memory = self.memory
-        while True:
-            if guard is not None:
-                guard.tick(self)
-            if max_cycles is not None and self._min_core_time() > max_cycles:
-                break
-            # Earliest runnable core (first wins ties, like min()).
-            core = None
-            for c in cores:
-                if c.state == RUNNING and (core is None or c.t < core.t):
-                    core = c
-            if core is not None:
-                self._deliver(memory.run_until(int(core.t)))
-                # A delivery may have woken a core with an earlier time.
-                core = None
-                for c in cores:
-                    if c.state == RUNNING and (
-                        core is None or c.t < core.t
-                    ):
-                        core = c
-                core.advance(quantum)
-                continue
-            blocked = [c for c in cores if c.state == BLOCKED]
-            if blocked:
-                self._advance_memory_for(blocked)
-                continue
-            waiting = [c for c in cores if c.state == AT_BARRIER]
-            if waiting:
-                self._release_barrier(waiting)
-                continue
-            break  # everyone finished
+        run_until = memory.run_until
+        deliver = self._deliver
+        # Lazy-invalidation wake heap: one (t, core_index) entry per
+        # RUNNING core. An entry is valid iff that core is still RUNNING
+        # at exactly that time; everything else is stale and skipped on
+        # pop. Tuple order (t, index) reproduces the linear scan's
+        # tie-break — earliest time wins, lowest index breaks ties — so
+        # the schedule (and with it every result) is unchanged.
+        heap = [
+            (core.t, i)
+            for i, core in enumerate(cores)
+            if core.state == RUNNING
+        ]
+        heapify(heap)
+        self._wake_heap = heap
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            # The loop allocates almost nothing cyclic; generational GC
+            # passes cost noticeable time here. Refcounting still frees
+            # short-lived objects, and collection resumes afterwards.
+            gc.disable()
+        try:
+            while True:
+                if guard is not None:
+                    guard.tick(self)
+                if (
+                    max_cycles is not None
+                    and self._min_core_time() > max_cycles
+                ):
+                    break
+                entry = None
+                while heap:
+                    t, idx = heap[0]
+                    core = cores[idx]
+                    if core.state == RUNNING and core.t == t:
+                        entry = heap[0]
+                        break
+                    heappop(heap)
+                if entry is not None:
+                    heappop(heap)
+                    deliver(run_until(int(t)))
+                    # A delivery may have woken a core with an earlier
+                    # wake time; that core advances instead (its entry
+                    # was pushed by _deliver).
+                    while heap:
+                        t2, idx2 = heap[0]
+                        c2 = cores[idx2]
+                        if c2.state == RUNNING and c2.t == t2:
+                            if (t2, idx2) < (t, idx):
+                                heappush(heap, (t, idx))
+                                heappop(heap)
+                                core = c2
+                                idx = idx2
+                            break
+                        heappop(heap)
+                    if core.advance(quantum) == RUNNING:
+                        heappush(heap, (core.t, idx))
+                    continue
+                # Heap dry: no RUNNING core should exist. Rebuild
+                # defensively in case a wake path bypassed the heap so
+                # the schedule contract above can never be violated.
+                stale = [
+                    (c.t, i)
+                    for i, c in enumerate(cores)
+                    if c.state == RUNNING
+                ]
+                if stale:
+                    for e in stale:
+                        heappush(heap, e)
+                    continue
+                blocked = [c for c in cores if c.state == BLOCKED]
+                if blocked:
+                    self._advance_memory_for(blocked)
+                    continue
+                waiting = [c for c in cores if c.state == AT_BARRIER]
+                if waiting:
+                    self._release_barrier(waiting)
+                    continue
+                break  # everyone finished
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         return self._finalize(max_cycles)
 
@@ -288,6 +363,7 @@ class CpuSystem:
         self._deliver(done)
 
     def _deliver(self, completed: list[Request]) -> None:
+        heap = self._wake_heap
         for request in completed:
             if request.is_read:
                 line = request.address // self._line_bytes
@@ -297,12 +373,17 @@ class CpuSystem:
             if not request.meta:
                 continue
             for core, load in request.meta:
+                was_blocked = core.state == BLOCKED
                 core.complete_request(load, request)
+                if was_blocked and core.state == RUNNING:
+                    heappush(heap, (core.t, core.core_id))
 
     def _release_barrier(self, waiting: list[IntervalCore]) -> None:
         release = max(c.t for c in waiting)
+        heap = self._wake_heap
         for core in waiting:
             core.finish_barrier(release)
+            heappush(heap, (core.t, core.core_id))
 
     def _finalize(self, max_cycles: int | None) -> "SimulationResult":
         self.memory.drain()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cpu.core import CoreConfig
 from repro.cpu.system import CpuSystem, SimulationResult
 from repro.experiments.config import ExperimentScale, get_scale, paper_system
 from repro.stacks.components import Stack, StackSeries
@@ -58,6 +59,7 @@ def run_synthetic(
     label: str = "",
     guard=None,
     scheduling: str = "fr-fcfs",
+    core_engine: str | None = None,
 ) -> SimulationResult:
     """Run one synthetic configuration through the full pipeline.
 
@@ -65,6 +67,10 @@ def run_synthetic(
     watchdog + warn-mode auditor, False for a bare run, or a configured
     :class:`~repro.reliability.guard.ReliabilityGuard` (e.g. with
     checkpoints or a wall-clock budget).
+
+    `core_engine` selects the core stepper (``"fast"`` or
+    ``"reference"``, see :data:`repro.cpu.core.CORE_ENGINES`); None
+    keeps the :class:`~repro.cpu.core.CoreConfig` default.
     """
     scale = get_scale(scale)
     # The scaled (GAP) hierarchy: with the paper's full 11 MB LLC, runs
@@ -80,6 +86,7 @@ def run_synthetic(
         address_scheme=address_scheme,
         write_queue_capacity=write_queue_capacity,
         gap=True,
+        core=None if core_engine is None else CoreConfig(engine=core_engine),
     )
     workload = make_pattern(pattern, SyntheticConfig(
         accesses_per_core=scale.synthetic_accesses,
@@ -100,10 +107,11 @@ def run_gap(
     seed: int = 42,
     guard=None,
     scheduling: str = "fr-fcfs",
+    core_engine: str | None = None,
 ) -> tuple[SimulationResult, GapWorkload]:
     """Run one GAP kernel configuration; returns (result, workload).
 
-    `guard` is forwarded to :meth:`CpuSystem.run` (see `run_synthetic`).
+    `guard` and `core_engine` are forwarded as in `run_synthetic`.
     """
     scale = get_scale(scale)
     params = {}
@@ -126,6 +134,7 @@ def run_gap(
         address_scheme=address_scheme,
         write_queue_capacity=write_queue_capacity,
         gap=True,
+        core=None if core_engine is None else CoreConfig(engine=core_engine),
     )
     system = CpuSystem(config)
     result = system.run(workload.traces(cores), guard=guard)

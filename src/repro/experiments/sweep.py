@@ -18,6 +18,8 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+import os
+import re
 import time
 from dataclasses import dataclass, field
 from typing import IO, Iterable
@@ -210,6 +212,7 @@ def run_sweep(
     cache=None,
     bus=None,
     jsonl_path: str | None = None,
+    profile_dir: str | None = None,
 ) -> SweepResult:
     """Run every point; `progress` (if given) is called per record.
 
@@ -247,6 +250,12 @@ def run_sweep(
             terminal failure) to this file as the sweep runs — an
             interrupt loses at most the in-flight points, never the
             finished ones.
+        profile_dir: dump one cProfile ``<label>.pstats`` file per
+            point into this directory (created if missing); load them
+            with :mod:`pstats`. Serial-only: profiling inside worker
+            processes would capture only pickling overhead, so combined
+            with ``jobs>1``, ``cache`` or ``bus`` it raises
+            :class:`~repro.errors.ConfigurationError`.
 
     Failing points never abort the sweep: after the retry budget the
     point is recorded in ``result.failures`` and the sweep moves on, so
@@ -258,16 +267,36 @@ def run_sweep(
                 "run_sweep(guard_factory=...) is serial-only; it cannot "
                 "be combined with jobs>1, cache or bus"
             )
+        if profile_dir is not None:
+            raise ConfigurationError(
+                "run_sweep(profile_dir=...) is serial-only; it cannot "
+                "be combined with jobs>1, cache or bus"
+            )
         return _run_sweep_service(
             points, scale, progress, timeout_s, retries, backoff_s,
             jobs, cache, bus, jsonl_path,
         )
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
     result = SweepResult()
     with _jsonl_writer(jsonl_path) as emit_line:
         for point in points:
+            profiler = None
+            if profile_dir is not None:
+                import cProfile
+
+                profiler = cProfile.Profile()
+                profiler.enable()
             outcome = _run_point(
                 point, scale, timeout_s, retries, backoff_s, guard_factory
             )
+            if profiler is not None:
+                profiler.disable()
+                profiler.dump_stats(
+                    os.path.join(
+                        profile_dir, _profile_filename(point.label)
+                    )
+                )
             if isinstance(outcome, SweepFailure):
                 result.failures.append(outcome)
                 emit_line(outcome.to_json_dict())
@@ -277,6 +306,11 @@ def run_sweep(
             if progress is not None:
                 progress(outcome)
     return result
+
+
+def _profile_filename(label: str) -> str:
+    """Filesystem-safe pstats filename for a point label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label) + ".pstats"
 
 
 def _run_point(

@@ -34,7 +34,12 @@ from repro.dram.controller import EventLog
 from repro.dram.rank import BlockScope
 from repro.dram.timing import TimingSpec
 from repro.errors import AccountingError
-from repro.stacks.components import Stack, StackSeries, ordered_stack
+from repro.stacks.components import (
+    Stack,
+    StackSeries,
+    ordered_stack,
+    paused_gc,
+)
 
 #: Canonical component order (bottom of the stack first). ``read`` and
 #: ``write`` together are the achieved bandwidth; everything else is lost.
@@ -131,6 +136,7 @@ class BandwidthStackAccountant:
         self.auditor = auditor
 
     # ------------------------------------------------------------------
+    @paused_gc
     def account_cycles(
         self,
         log: EventLog,

@@ -27,7 +27,12 @@ from repro.dram.commands import Request
 from repro.dram.timing import TimingSpec
 from repro.errors import AccountingError
 from repro.stacks import intervals as iv
-from repro.stacks.components import Stack, StackSeries, ordered_stack
+from repro.stacks.components import (
+    Stack,
+    StackSeries,
+    ordered_stack,
+    paused_gc,
+)
 
 LATENCY_COMPONENTS = ("base", "pre_act", "refresh", "writeburst", "queue")
 LATENCY_COMPONENTS_SPLIT = (
@@ -135,6 +140,7 @@ class LatencyStackAccountant:
             parts["base"] = self.base_controller_cycles + base_dram
         return parts
 
+    @paused_gc
     def account(
         self,
         requests: list[Request],

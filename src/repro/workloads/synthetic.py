@@ -15,12 +15,38 @@ Two access patterns with a configurable load/store fraction:
 from __future__ import annotations
 
 import random as _random
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable
 
 from repro.cpu.core import TraceItem
 from repro.errors import WorkloadError
 from repro.workloads.base import Workload, stagger_base
+
+#: Materialized trace blocks, memoized so repeated runs of one
+#: configuration (sweeps, figure scripts, benchmarks) reuse the
+#: TraceItem lists instead of regenerating them — and so the fast core
+#: engine always sees an indexable block rather than a generator.
+#: Keyed by (pattern, config, placement, core); bounded LRU so
+#: paper-scale sweeps cannot accumulate unbounded memory. Blocks are
+#: shared across runs and must never be mutated (TraceItem is frozen).
+_BLOCK_CACHE: OrderedDict[tuple, list[TraceItem]] = OrderedDict()
+_BLOCK_CACHE_MAX = 32
+
+
+def _trace_block(
+    key: tuple, build: Callable[[], list[TraceItem]]
+) -> list[TraceItem]:
+    """Return the memoized block for `key`, building it on a miss."""
+    block = _BLOCK_CACHE.get(key)
+    if block is None:
+        block = build()
+        _BLOCK_CACHE[key] = block
+        while len(_BLOCK_CACHE) > _BLOCK_CACHE_MAX:
+            _BLOCK_CACHE.popitem(last=False)
+    else:
+        _BLOCK_CACHE.move_to_end(key)
+    return block
 
 
 @dataclass(frozen=True)
@@ -88,18 +114,27 @@ class SequentialWorkload(Workload):
         """One instruction trace per core."""
         return [self._trace(core_id) for core_id in range(cores)]
 
-    def _trace(self, core_id: int) -> Iterator[TraceItem]:
+    def _trace(self, core_id: int) -> list[TraceItem]:
+        key = ("sequential", self.config, self.base_address, core_id)
+        return _trace_block(key, lambda: self._build(core_id))
+
+    def _build(self, core_id: int) -> list[TraceItem]:
         config = self.config
         base = stagger_base(self.base_address, core_id, config.footprint_bytes)
         stores = _StorePattern(config.store_fraction)
         address = base
+        instructions = config.instructions_per_access
+        line_bytes = config.line_bytes
+        items: list[TraceItem] = []
+        append = items.append
         for __ in range(config.accesses_per_core):
-            yield TraceItem(
-                instructions=config.instructions_per_access,
+            append(TraceItem(
+                instructions=instructions,
                 address=address,
                 is_store=stores.next_is_store(),
-            )
-            address += config.line_bytes
+            ))
+            address += line_bytes
+        return items
 
 
 class RandomWorkload(Workload):
@@ -120,20 +155,30 @@ class RandomWorkload(Workload):
         """One instruction trace per core."""
         return [self._trace(core_id) for core_id in range(cores)]
 
-    def _trace(self, core_id: int) -> Iterator[TraceItem]:
+    def _trace(self, core_id: int) -> list[TraceItem]:
+        key = ("random", self.config, self.base_address, core_id)
+        return _trace_block(key, lambda: self._build(core_id))
+
+    def _build(self, core_id: int) -> list[TraceItem]:
         config = self.config
         rng = _random.Random(config.seed + core_id * 7919)
         base = self.base_address + core_id * config.footprint_bytes
         lines = config.footprint_bytes // config.line_bytes
         stores = _StorePattern(config.store_fraction)
+        instructions = config.instructions_per_access
+        line_bytes = config.line_bytes
+        dependency = config.dependency
+        items: list[TraceItem] = []
+        append = items.append
         for __ in range(config.accesses_per_core):
             line = rng.randrange(lines)
-            yield TraceItem(
-                instructions=config.instructions_per_access,
-                address=base + line * config.line_bytes,
+            append(TraceItem(
+                instructions=instructions,
+                address=base + line * line_bytes,
                 is_store=stores.next_is_store(),
-                dependency_distance=config.dependency,
-            )
+                dependency_distance=dependency,
+            ))
+        return items
 
 
 class StridedWorkload(Workload):
@@ -165,20 +210,32 @@ class StridedWorkload(Workload):
         """One instruction trace per core."""
         return [self._trace(core_id) for core_id in range(cores)]
 
-    def _trace(self, core_id: int) -> Iterator[TraceItem]:
+    def _trace(self, core_id: int) -> list[TraceItem]:
+        key = (
+            "strided", self.config, self.stride_bytes, self.base_address,
+            core_id,
+        )
+        return _trace_block(key, lambda: self._build(core_id))
+
+    def _build(self, core_id: int) -> list[TraceItem]:
         config = self.config
         base = stagger_base(self.base_address, core_id, config.footprint_bytes)
         if self.stride_bytes < 0:
             base += config.footprint_bytes - config.line_bytes
         stores = _StorePattern(config.store_fraction)
         address = base
+        instructions = config.instructions_per_access
+        stride = self.stride_bytes
+        items: list[TraceItem] = []
+        append = items.append
         for __ in range(config.accesses_per_core):
-            yield TraceItem(
-                instructions=config.instructions_per_access,
+            append(TraceItem(
+                instructions=instructions,
                 address=address,
                 is_store=stores.next_is_store(),
-            )
-            address += self.stride_bytes
+            ))
+            address += stride
+        return items
 
 
 class PointerChaseWorkload(Workload):
@@ -203,18 +260,27 @@ class PointerChaseWorkload(Workload):
         """One instruction trace per core."""
         return [self._trace(core_id) for core_id in range(cores)]
 
-    def _trace(self, core_id: int) -> Iterator[TraceItem]:
+    def _trace(self, core_id: int) -> list[TraceItem]:
+        key = ("pointer-chase", self.config, self.base_address, core_id)
+        return _trace_block(key, lambda: self._build(core_id))
+
+    def _build(self, core_id: int) -> list[TraceItem]:
         config = self.config
         rng = _random.Random(config.seed + core_id * 104729)
         base = self.base_address + core_id * config.footprint_bytes
         lines = config.footprint_bytes // config.line_bytes
+        instructions = config.instructions_per_access
+        line_bytes = config.line_bytes
+        items: list[TraceItem] = []
+        append = items.append
         for __ in range(config.accesses_per_core):
             line = rng.randrange(lines)
-            yield TraceItem(
-                instructions=config.instructions_per_access,
-                address=base + line * config.line_bytes,
+            append(TraceItem(
+                instructions=instructions,
+                address=base + line * line_bytes,
                 dependency_distance=1,
-            )
+            ))
+        return items
 
 
 class PhasedWorkload(Workload):

@@ -20,6 +20,7 @@ from dataclasses import replace
 
 import pytest
 
+from repro.cpu.core import CoreConfig
 from repro.cpu.prefetcher import PrefetcherConfig
 from repro.cpu.system import CpuSystem
 from repro.experiments.config import paper_system
@@ -40,6 +41,7 @@ def run_config(
     engine: str = "fast",
     cores: int = 2,
     prefetch: bool = True,
+    core_engine: str = "fast",
 ):
     """One synthetic run with full control over scheduler knobs.
 
@@ -51,7 +53,10 @@ def run_config(
     *counts* across scheduling policies. The cross-policy invariance
     tests below compare the work itself, so they pin the stream down.
     """
-    config = paper_system(cores=cores, page_policy=page_policy, gap=True)
+    config = paper_system(
+        cores=cores, page_policy=page_policy, gap=True,
+        core=CoreConfig(engine=core_engine),
+    )
     memory = replace(config.memory, scheduling=scheduling, engine=engine)
     if prefetch:
         config = replace(config, memory=memory)
@@ -103,6 +108,37 @@ def test_fast_engine_matches_reference(
     problems = diff_fingerprints(reference, fast)
     assert not problems, (
         "fast engine diverged from reference:\n  " + "\n  ".join(problems)
+    )
+
+
+# ----------------------------------------------------------------------
+# Fast core engine vs reference core engine: bit-identical results.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "pattern,store_fraction,page_policy,scheduling",
+    ENGINE_MATRIX,
+    ids=[
+        f"{p}-sf{sf}-{pp}-{sched}" for p, sf, pp, sched in ENGINE_MATRIX
+    ],
+)
+def test_fast_core_matches_reference_core(
+    pattern, store_fraction, page_policy, scheduling
+):
+    """The event-skipping core stepper is an inline expansion of the
+    per-item reference stepper: same floats in the same order, so the
+    fingerprints (DRAM event log, stacks, counts) must be identical."""
+    fast = result_fingerprint(run_config(
+        pattern, store_fraction, page_policy, scheduling,
+        core_engine="fast",
+    ))
+    reference = result_fingerprint(run_config(
+        pattern, store_fraction, page_policy, scheduling,
+        core_engine="reference",
+    ))
+    problems = diff_fingerprints(reference, fast)
+    assert not problems, (
+        "fast core engine diverged from reference:\n  "
+        + "\n  ".join(problems)
     )
 
 

@@ -63,21 +63,32 @@ def assert_identical_stacks(a, b):
         assert lat_a[name] == lat_b[name], f"latency {name} diverged"
 
 
+@pytest.mark.parametrize("core_engine", ["fast", "reference"])
 class TestRoundTrip:
-    def test_resume_is_bit_identical(self, tmp_path):
+    """Round trips must be bit-identical under *both* core steppers:
+    checkpoints snapshot the trace position and in-flight core state,
+    and the fast engine must restore into exactly the reference's
+    observable state (and vice versa — a checkpoint does not record
+    which engine wrote it)."""
+
+    def test_resume_is_bit_identical(self, tmp_path, core_engine):
         reference = run_synthetic(
-            "random", cores=2, store_fraction=0.2, scale="ci"
+            "random", cores=2, store_fraction=0.2, scale="ci",
+            core_engine=core_engine,
         )
         guard = checkpointing_guard(tmp_path)
         run_synthetic(
-            "random", cores=2, store_fraction=0.2, scale="ci", guard=guard
+            "random", cores=2, store_fraction=0.2, scale="ci",
+            guard=guard, core_engine=core_engine,
         )
         assert guard.checkpoints.checkpoints_written >= 1
         resumed = resume_run(guard.checkpoints.latest)
         assert_identical_stacks(reference, resumed)
 
-    def test_killed_run_resumes_identically(self, tmp_path):
-        reference = run_synthetic("sequential", cores=2, scale="ci")
+    def test_killed_run_resumes_identically(self, tmp_path, core_engine):
+        reference = run_synthetic(
+            "sequential", cores=2, scale="ci", core_engine=core_engine
+        )
         manager = CheckpointManager(
             str(tmp_path),
             interval_cycles=max(2_000, reference.total_cycles // 6),
@@ -85,22 +96,30 @@ class TestRoundTrip:
         guard = KillAt(manager, kill_cycle=reference.total_cycles // 2)
         with pytest.raises(SimulationTimeoutError):
             run_synthetic(
-                "sequential", cores=2, scale="ci", guard=guard
+                "sequential", cores=2, scale="ci", guard=guard,
+                core_engine=core_engine,
             )
         assert manager.latest is not None
         resumed = resume_run(manager.latest)
         assert_identical_stacks(reference, resumed)
 
     @pytest.mark.slow
-    def test_killed_gap_run_resumes_identically(self, tmp_path):
-        reference, _ = run_gap("bfs", cores=2, scale="ci", seed=7)
+    def test_killed_gap_run_resumes_identically(
+        self, tmp_path, core_engine
+    ):
+        reference, _ = run_gap(
+            "bfs", cores=2, scale="ci", seed=7, core_engine=core_engine
+        )
         manager = CheckpointManager(
             str(tmp_path),
             interval_cycles=max(2_000, reference.total_cycles // 8),
         )
         guard = KillAt(manager, kill_cycle=reference.total_cycles // 2)
         with pytest.raises(SimulationTimeoutError):
-            run_gap("bfs", cores=2, scale="ci", seed=7, guard=guard)
+            run_gap(
+                "bfs", cores=2, scale="ci", seed=7, guard=guard,
+                core_engine=core_engine,
+            )
         assert manager.latest is not None
         resumed = resume_run(manager.latest)
         assert_identical_stacks(reference, resumed)

@@ -130,3 +130,46 @@ class TestIntegration:
             mc.watchdog is dog
             for mc, dog in zip(system.controllers, dogs)
         )
+
+
+@pytest.mark.parametrize("core_engine", ["fast", "reference"])
+class TestCoreEngines:
+    """The guardrails must behave identically under both core steppers:
+    the fast engine changes how time advances, not what the watchdog
+    observes (commands issued, queue depth, controller cycles)."""
+
+    def test_healthy_full_run_never_fires(self, core_engine):
+        from repro.experiments.runner import run_synthetic
+        from repro.reliability.guard import ReliabilityGuard
+
+        guard = ReliabilityGuard.default()
+        result = run_synthetic(
+            "random", cores=2, scale="ci", guard=guard,
+            core_engine=core_engine,
+        )
+        assert result.total_cycles > 0
+        assert guard.watchdog.stalls_detected == 0
+
+    def test_forced_stall_fires_through_cpu_system(self, core_engine):
+        from repro.cpu.core import CoreConfig
+        from repro.cpu.system import CpuSystem
+        from repro.experiments.config import paper_system
+        from repro.workloads.synthetic import (
+            SyntheticConfig,
+            make_pattern,
+        )
+
+        config = paper_system(
+            cores=1, gap=True, core=CoreConfig(engine=core_engine)
+        )
+        system = CpuSystem(config)
+        system.memory.attach_watchdog(
+            ForwardProgressWatchdog(threshold_cycles=2_000)
+        )
+        force_stall(system.memory)
+        workload = make_pattern("random", SyntheticConfig(
+            accesses_per_core=500,
+        ))
+        with pytest.raises(SimulationStalledError) as info:
+            system.run(workload.traces(1), guard=False)
+        assert info.value.diagnostic.queued_reads > 0

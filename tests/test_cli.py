@@ -137,6 +137,51 @@ class TestBatch:
         assert "  [" not in out and "batch:" in out
 
 
+class TestProfile:
+    def test_analyze_profile_writes_loadable_pstats(
+        self, tmp_path, capsys
+    ):
+        import pstats
+
+        out_file = tmp_path / "run.pstats"
+        assert main([
+            "analyze", "random", "--cores", "1",
+            "--profile", str(out_file),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "profile written to" in err
+        assert out_file.exists()
+        stats = pstats.Stats(str(out_file))
+        assert stats.total_calls > 0
+        # The profile must cover the simulation itself, not just the CLI.
+        assert any(
+            "repro" in filename and "core.py" in filename
+            for filename, __, __ in stats.stats
+        )
+
+    def test_batch_profile_dir_one_pstats_per_point(self, tmp_path):
+        import pstats
+
+        profile_dir = tmp_path / "profiles"
+        assert main([
+            "batch", "--patterns", "sequential,random", "--cores", "1",
+            "--scale", "ci", "--quiet",
+            "--profile-dir", str(profile_dir),
+        ]) == 0
+        dumps = sorted(profile_dir.glob("*.pstats"))
+        assert len(dumps) == 2
+        for dump in dumps:
+            stats = pstats.Stats(str(dump))
+            assert stats.total_calls > 0
+
+    def test_batch_profile_dir_is_serial_only(self, tmp_path, capsys):
+        assert main([
+            "batch", "--patterns", "sequential", "--jobs", "2",
+            "--profile-dir", str(tmp_path / "profiles"),
+        ]) == 3
+        assert "serial-only" in capsys.readouterr().err
+
+
 class TestExitCodes:
     """ReproError subclasses map to distinct exit codes with one-line
     stderr messages — no tracebacks. Verified in-process and through a
