@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke test for the chaos-hardened execution service.
+
+A fast (inline-mode, tiny-scale) end-to-end pass over the four
+resilience mechanisms, asserting the robustness contract: every batch
+either completes with correct fingerprints or fails with a documented
+exit code — never hangs, never silently drops a point.
+
+1. **Worker-plane chaos** — injected crash + error faults (via the
+   ``REPRO_CHAOS`` plan) are retried away; payloads match a chaos-free
+   reference bit for bit.
+2. **Journal resume** — a batch "killed" halfway is resumed from its
+   append-only journal, recomputing only the unfinished jobs, with
+   fingerprints identical to an uninterrupted run.
+3. **Cache degradation** — persistent disk-full (ENOSPC) write faults
+   trip the cache to read-only; the batch still completes and the
+   degradation is published as a typed event.
+4. **Spawn circuit breaker** — a pool whose workers cannot spawn falls
+   back to inline execution after the breaker opens; the batch still
+   completes, degraded.
+
+The full matrix (every fault kind × inline/pooled, real process kills)
+lives in ``tests/service/test_chaos.py``; this script is the quick
+always-on gate. See ``docs/chaos.md``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+
+Exit status 0 on success, 1 with a diagnostic on any violated contract.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import sys
+import tempfile
+import time
+
+
+def reference_payloads(jobs):
+    from repro.service import ExecutionService
+
+    result = ExecutionService().run(jobs)
+    assert result.complete, f"reference run failed: {result.failures}"
+    return result.payloads
+
+
+def check_worker_plane(jobs, reference, problems):
+    from repro.service import ExecutionService
+    from repro.service.chaos import CHAOS_ENV, chaos_plan, pick_targets
+
+    victims = pick_targets([job.label for job in jobs], 2, seed=1)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as state:
+        os.environ[CHAOS_ENV] = chaos_plan(state, [
+            {"match": victims[0], "kind": "crash", "times": 1},
+            {"match": victims[1], "kind": "error", "times": 1},
+        ])
+        try:
+            result = ExecutionService(retries=2, backoff_s=0.001).run(jobs)
+        finally:
+            del os.environ[CHAOS_ENV]
+    if not result.complete:
+        problems.append(
+            f"worker-plane: batch did not survive transient faults: "
+            + "; ".join(str(f) for f in result.failures)
+        )
+    elif result.payloads != reference:
+        problems.append(
+            "worker-plane: payloads after injected faults differ from "
+            "the chaos-free reference — determinism contract broken"
+        )
+
+
+def check_journal_resume(jobs, reference, problems):
+    from repro.service import BatchJournal, ExecutionService
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        path = os.path.join(root, "batch.jsonl")
+        # First run "dies" after half the batch: journal only that half.
+        with BatchJournal(path) as journal:
+            ExecutionService().run(jobs[: len(jobs) // 2], journal=journal)
+        resumed = ExecutionService().run(jobs, journal=path)
+    expected_hits = len(jobs) // 2
+    if not resumed.complete:
+        problems.append(f"journal: resume failed: {resumed.failures}")
+    elif resumed.journal_hits != expected_hits:
+        problems.append(
+            f"journal: expected {expected_hits} replayed point(s), got "
+            f"{resumed.journal_hits} (executed {resumed.executed})"
+        )
+    elif resumed.payloads != reference:
+        problems.append(
+            "journal: resumed payloads differ from the uninterrupted "
+            "reference — resume contract broken"
+        )
+
+
+def check_cache_degradation(jobs, reference, problems):
+    from repro.service import ExecutionService
+    from repro.service.chaos import ChaosCache
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        cache = ChaosCache(
+            root, write_faults=10**9, write_errno=errno.ENOSPC,
+            write_error_limit=2,
+        )
+        result = ExecutionService(cache=cache).run(jobs)
+    degradations = [(d.component, d.mode) for d in result.degradations]
+    if not result.complete:
+        problems.append(
+            f"cache: disk-full batch did not complete: {result.failures}"
+        )
+    elif result.payloads != reference:
+        problems.append("cache: degraded payloads differ from reference")
+    elif degradations != [("cache", "read-only")]:
+        problems.append(
+            f"cache: expected a published ('cache', 'read-only') "
+            f"degradation, got {degradations}"
+        )
+
+
+def check_spawn_breaker(jobs, reference, problems):
+    from repro.errors import WorkerSpawnError
+    from repro.service import ExecutionService, WorkerPool
+
+    def refuse(self):
+        raise WorkerSpawnError("chaos_smoke: injected spawn failure")
+
+    original = WorkerPool._spawn_worker
+    WorkerPool._spawn_worker = refuse
+    try:
+        result = ExecutionService(workers=2).run(jobs)
+    finally:
+        WorkerPool._spawn_worker = original
+    degradations = [(d.component, d.mode) for d in result.degradations]
+    if not result.complete:
+        problems.append(
+            f"breaker: inline fallback did not complete: {result.failures}"
+        )
+    elif result.payloads != reference:
+        problems.append("breaker: fallback payloads differ from reference")
+    elif ("pool", "inline") not in degradations:
+        problems.append(
+            f"breaker: expected a published ('pool', 'inline') "
+            f"degradation, got {degradations}"
+        )
+
+
+def main() -> int:
+    from repro.experiments.config import ExperimentScale
+    from repro.service import Job
+
+    scale = ExperimentScale("smoke", synthetic_accesses=800)
+    jobs = [
+        Job(
+            "synthetic",
+            {"pattern": pattern, "cores": 1},
+            scale=scale,
+            label=pattern,
+        )
+        for pattern in ("sequential", "random", "strided", "pointer-chase")
+    ]
+
+    start = time.perf_counter()
+    reference = reference_payloads(jobs)
+    problems: list[str] = []
+    check_worker_plane(jobs, reference, problems)
+    check_journal_resume(jobs, reference, problems)
+    check_cache_degradation(jobs, reference, problems)
+    check_spawn_breaker(jobs, reference, problems)
+    elapsed = time.perf_counter() - start
+
+    if problems:
+        for problem in problems:
+            print(f"chaos_smoke: FAIL — {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos_smoke: OK — {len(jobs)} points × 4 scenarios "
+        f"(worker faults, journal resume, disk-full cache, spawn "
+        f"breaker) in {elapsed:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
 # phase breakdown) plus a fingerprint run.
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 SERVICE_TIMEOUT="${SERVICE_TIMEOUT:-180}"
+CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-120}"
 
 MARKER_ARGS=()
 if [[ "${1:-}" == "fast" ]]; then
@@ -49,6 +50,15 @@ echo "== parallel service smoke (timeout ${SERVICE_TIMEOUT}s) =="
 # serial reference and the second invocation is >=90% cache hits.
 timeout --signal=KILL "$SERVICE_TIMEOUT" \
     python scripts/service_smoke.py --jobs 2
+
+echo "== chaos smoke (timeout ${CHAOS_TIMEOUT}s) =="
+# Inline-mode pass over the resilience mechanisms: injected worker
+# faults, journal kill/resume, disk-full cache degradation, and the
+# spawn circuit breaker. The full fault matrix (including real process
+# kills on a pool) is tests/service/test_chaos.py; its pooled cells
+# are marked 'slow' and run with the tier-1 suite unless 'fast'.
+timeout --signal=KILL "$CHAOS_TIMEOUT" \
+    python scripts/chaos_smoke.py
 
 echo "== wall-clock smoke benchmark (timeout ${BENCH_TIMEOUT}s) =="
 # Gates on BENCH_PR5.json: warns past a 10% slowdown, fails past 25%

@@ -11,10 +11,16 @@ the cache instead of resimulating. A figure that fails no longer kills
 the batch silently — its captured output and traceback are printed, the
 remaining figures still run, and the script exits nonzero at the end.
 
+With ``--journal PATH`` every finished figure is appended to a
+crash-safe batch journal; add ``--resume`` after an interrupted run and
+only the unfinished figures recompute (journaled ones replay their text
+instantly). See docs/chaos.md.
+
 Usage::
 
     PYTHONPATH=src python scripts/run_all_figures.py [scale] [output_dir]
         [--jobs N] [--cache-dir DIR] [--figures fig2,fig7]
+        [--journal PATH [--resume]]
 """
 
 from __future__ import annotations
@@ -68,14 +74,17 @@ def run_serial(figures, scale: str, output_dir: str) -> list[str]:
 def run_service(
     figures, scale: str, output_dir: str, jobs: int,
     cache_dir: str | None,
+    journal_path: str | None = None,
+    resume: bool = False,
 ) -> list[str]:
     """Run figures through the execution service; returns failed names.
 
     The SVG files are written by the worker that (cold-)runs a figure;
-    a cache hit replays the tables but relies on the SVGs from the
-    original run already being in ``output_dir``.
+    a cache or journal hit replays the tables but relies on the SVGs
+    from the original run already being in ``output_dir``.
     """
-    from repro.service import ExecutionService, Job
+    from repro.service import BatchJournal, ExecutionService, Job
+    from repro.service.events import ServiceDegraded
 
     job_list = [
         Job(
@@ -87,6 +96,10 @@ def run_service(
         for name in figures
     ]
     service = ExecutionService(workers=jobs, cache=cache_dir)
+    service.bus.subscribe(ServiceDegraded, lambda event: print(
+        f"DEGRADED [{event.component} -> {event.mode}] {event.reason}",
+        file=sys.stderr, flush=True,
+    ))
 
     def on_result(index, job, payload, cached):
         path = _write_text(output_dir, job.label, payload["text"])
@@ -96,7 +109,16 @@ def run_service(
             flush=True,
         )
 
-    batch = service.run(job_list, on_result=on_result)
+    journal = None
+    if journal_path is not None:
+        journal = BatchJournal(journal_path, resume=resume)
+    try:
+        batch = service.run(
+            job_list, on_result=on_result, journal=journal
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     for failure in batch.failures:
         print(f"{failure}", flush=True)
     return [failure.job.label for failure in batch.failures]
@@ -122,7 +144,18 @@ def main(argv: list[str] | None = None) -> int:
         "--figures", default=None, metavar="LIST",
         help=f"comma-separated subset of {','.join(FIGURES)}",
     )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe batch journal; with --resume, finished "
+        "figures recorded there replay instead of recomputing",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted run from the --journal file",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal PATH")
 
     figures = FIGURES
     if args.figures:
@@ -132,10 +165,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"unknown figures: {', '.join(unknown)}")
 
     os.makedirs(args.output_dir, exist_ok=True)
-    if args.jobs > 1 or args.cache_dir:
+    if args.jobs > 1 or args.cache_dir or args.journal:
         failed = run_service(
             figures, args.scale, args.output_dir, args.jobs,
-            args.cache_dir,
+            args.cache_dir, args.journal, args.resume,
         )
     else:
         failed = run_serial(figures, args.scale, args.output_dir)

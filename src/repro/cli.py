@@ -13,7 +13,10 @@ Subcommands:
 
 Failures surface as one-line messages on stderr with distinct exit
 codes per error family (see :data:`repro.errors.EXIT_CODES`), never as
-tracebacks.
+tracebacks. The robustness-relevant codes (``docs/chaos.md``):
+``6`` simulation timeout, ``12`` worker crash, ``13`` circuit breaker
+open with degradation disabled (``batch --no-degrade``), ``14`` corrupt
+batch journal (``batch --journal ... --resume``).
 """
 
 from __future__ import annotations
@@ -122,6 +125,22 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="stream one JSON line per completed point to this file",
+    )
+    batch.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write a crash-safe batch journal (append-only JSONL) to "
+        "PATH; with --resume, finished points recorded there are "
+        "replayed instead of recomputed",
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted batch from the --journal file "
+        "(recomputes only the unfinished points)",
+    )
+    batch.add_argument(
+        "--no-degrade", action="store_true",
+        help="fail fast (exit code 13) instead of degrading to inline "
+        "execution when worker processes repeatedly fail to spawn",
     )
     batch.add_argument(
         "--csv", default=None, metavar="PATH",
@@ -318,7 +337,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.core.events import EventBus
     from repro.errors import ConfigurationError
     from repro.experiments.sweep import grid, run_sweep
-    from repro.service.events import JobFailed, JobFinished
+    from repro.service.events import JobFailed, JobFinished, ServiceDegraded
     from repro.viz.live import BatchProgressMeter
 
     def _split(raw: str, convert=str) -> tuple:
@@ -342,12 +361,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not points:
         raise ConfigurationError("the requested grid is empty")
 
+    if args.resume and not args.journal:
+        raise ConfigurationError(
+            "--resume requires --journal PATH (the journal to resume "
+            "from)"
+        )
     profiling = args.profile_dir is not None
-    if profiling and (args.jobs > 1 or args.cache_dir is not None):
+    if profiling and (
+        args.jobs > 1 or args.cache_dir is not None or args.journal
+    ):
         raise ConfigurationError(
             "--profile-dir is serial-only: profiles from worker "
             "processes or cache hits would be meaningless; use "
-            "--jobs 1 without --cache-dir"
+            "--jobs 1 without --cache-dir/--journal"
         )
     # Profiled sweeps run on run_sweep's plain serial path (the event
     # bus would route them through the execution service, which rejects
@@ -375,6 +401,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
             bus.subscribe(JobFinished, _print_finished)
             bus.subscribe(JobFailed, _print_failed)
+        def _print_degraded(event) -> None:
+            print(
+                f"  DEGRADED [{event.component} -> {event.mode}] "
+                f"{event.reason}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+        bus.subscribe(ServiceDegraded, _print_degraded)
     elif not args.quiet:
         def progress(record) -> None:
             print(f"  {record.point.label} done", flush=True)
@@ -383,6 +418,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"batch: {len(points)} point(s) at scale {args.scale!r} on "
         f"{args.jobs} worker(s)"
         + (f", cache {args.cache_dir}" if args.cache_dir else "")
+        + (
+            f", journal {args.journal}"
+            + (" (resume)" if args.resume else "")
+            if args.journal else ""
+        )
         + (f", profiles to {args.profile_dir}" if profiling else "")
     )
     result = run_sweep(
@@ -395,6 +435,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache=args.cache_dir,
         bus=bus,
         jsonl_path=args.jsonl,
+        journal_path=args.journal,
+        resume=args.resume,
+        fallback_inline=not args.no_degrade,
         profile_dir=args.profile_dir,
     )
     if args.csv:

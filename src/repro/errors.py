@@ -116,6 +116,40 @@ class WorkerCrashError(ReproError):
     """
 
 
+class WorkerSpawnError(WorkerCrashError):
+    """A pool worker process could not be started at all.
+
+    Distinct from a mid-job crash: no job was lost, the pool simply
+    failed to bring a worker up (fork/spawn resource exhaustion, a
+    broken interpreter). Repeated spawn failures trip the execution
+    service's circuit breaker (see :mod:`repro.service.health`), which
+    degrades the batch to inline execution instead of failing it.
+    Shares the :class:`WorkerCrashError` exit code (12).
+    """
+
+
+class CircuitOpenError(ReproError):
+    """The service's worker-pool circuit breaker is open.
+
+    Raised only when graceful degradation is disabled
+    (``ExecutionService(fallback_inline=False)`` / ``batch
+    --no-degrade``): the pool failed to spawn workers repeatedly and
+    the service was configured to fail fast rather than fall back to
+    inline execution.
+    """
+
+
+class JournalCorruptError(ReproError):
+    """A batch journal could not be replayed.
+
+    Raised when a journal file's header is missing/foreign or a
+    non-final record does not parse — resuming from it could silently
+    skip or duplicate work. A *truncated final line* (the normal result
+    of a crash mid-append) is not corruption; it is dropped and the
+    journal remains resumable.
+    """
+
+
 #: Process exit codes for each error family, used by the CLI. Codes 0-2
 #: are reserved (success, generic failure, argparse usage errors).
 EXIT_CODES: dict[type, int] = {
@@ -129,6 +163,8 @@ EXIT_CODES: dict[type, int] = {
     SimulationTimeoutError: 10,
     CheckpointError: 11,
     WorkerCrashError: 12,
+    CircuitOpenError: 13,
+    JournalCorruptError: 14,
 }
 
 

@@ -212,6 +212,9 @@ def run_sweep(
     cache=None,
     bus=None,
     jsonl_path: str | None = None,
+    journal_path: str | None = None,
+    resume: bool = False,
+    fallback_inline: bool = True,
     profile_dir: str | None = None,
 ) -> SweepResult:
     """Run every point; `progress` (if given) is called per record.
@@ -224,7 +227,10 @@ def run_sweep(
             internally and is retried like any other failure.
         retries: extra attempts per failing point (so ``retries=2``
             means up to three runs of that point).
-        backoff_s: sleep before retry `k` is ``backoff_s * 2**(k-1)``.
+        backoff_s: base retry delay; the sleep before retry `k` is
+            ``min(cap, backoff_s * 2**(k-1))`` scaled into ``[1/2, 1]``
+            of itself by a seeded RNG (see
+            :class:`~repro.service.health.BackoffPolicy`).
         guard_factory: optional callable returning the
             :class:`~repro.reliability.guard.ReliabilityGuard` for each
             attempt; overrides `timeout_s`. Called fresh per attempt —
@@ -250,6 +256,20 @@ def run_sweep(
             terminal failure) to this file as the sweep runs — an
             interrupt loses at most the in-flight points, never the
             finished ones.
+        journal_path: write a crash-safe batch journal
+            (:class:`~repro.service.journal.BatchJournal`) to this
+            path. With ``resume=True`` an existing journal's finished
+            points are replayed instead of recomputed, so a killed
+            sweep picks up where it died — with identical fingerprints
+            for the replayed points. Runs through the execution service
+            even at ``jobs=1``, so it cannot be combined with
+            ``guard_factory`` or ``profile_dir``.
+        resume: replay an existing journal at `journal_path` (ignored
+            without one).
+        fallback_inline: when repeated worker-spawn failures open the
+            service's circuit breaker, True (default) degrades the
+            sweep to inline execution; False raises
+            :class:`~repro.errors.CircuitOpenError` instead.
         profile_dir: dump one cProfile ``<label>.pstats`` file per
             point into this directory (created if missing); load them
             with :mod:`pstats`. Serial-only: profiling inside worker
@@ -261,20 +281,26 @@ def run_sweep(
     point is recorded in ``result.failures`` and the sweep moves on, so
     a mostly-healthy grid still reports its healthy part.
     """
-    if jobs > 1 or cache is not None or bus is not None:
+    if (
+        jobs > 1
+        or cache is not None
+        or bus is not None
+        or journal_path is not None
+    ):
         if guard_factory is not None:
             raise ConfigurationError(
                 "run_sweep(guard_factory=...) is serial-only; it cannot "
-                "be combined with jobs>1, cache or bus"
+                "be combined with jobs>1, cache, bus or journal_path"
             )
         if profile_dir is not None:
             raise ConfigurationError(
                 "run_sweep(profile_dir=...) is serial-only; it cannot "
-                "be combined with jobs>1, cache or bus"
+                "be combined with jobs>1, cache, bus or journal_path"
             )
         return _run_sweep_service(
             points, scale, progress, timeout_s, retries, backoff_s,
-            jobs, cache, bus, jsonl_path,
+            jobs, cache, bus, jsonl_path, journal_path, resume,
+            fallback_inline,
         )
     if profile_dir is not None:
         os.makedirs(profile_dir, exist_ok=True)
@@ -321,6 +347,12 @@ def _run_point(
     backoff_s: float,
     guard_factory,
 ) -> "SweepRecord | SweepFailure":
+    from repro.service.health import BackoffPolicy
+
+    # Per-point policy so delays do not depend on grid order; seeded,
+    # so the serial path's retry timing is as reproducible as the
+    # service's.
+    backoff = BackoffPolicy(base_s=backoff_s, seed=0)
     attempts = 0
     while True:
         attempts += 1
@@ -348,7 +380,7 @@ def _run_point(
                 return SweepFailure(
                     point=point, error=error, attempts=attempts
                 )
-            time.sleep(backoff_s * 2 ** (attempts - 1))
+            time.sleep(backoff.delay(attempts))
             continue
         bandwidth = sim.bandwidth_stack(point.label)
         latency = sim.latency_stack(point.label)
@@ -426,8 +458,12 @@ def _run_sweep_service(
     cache,
     bus,
     jsonl_path: str | None,
+    journal_path: str | None = None,
+    resume: bool = False,
+    fallback_inline: bool = True,
 ) -> SweepResult:
     """Grid execution through :class:`repro.service.ExecutionService`."""
+    from repro.service.journal import BatchJournal
     from repro.service.service import ExecutionService
 
     service = ExecutionService(
@@ -437,32 +473,46 @@ def _run_sweep_service(
         timeout_s=timeout_s,
         retries=retries,
         backoff_s=backoff_s,
+        fallback_inline=fallback_inline,
     )
     job_list = [point_job(point, scale, timeout_s) for point in points]
+    journal = None
+    if journal_path is not None:
+        journal = BatchJournal(journal_path, resume=resume)
     by_index: dict[int, SweepRecord] = {}
-    with _jsonl_writer(jsonl_path) as emit_line:
+    try:
+        with _jsonl_writer(jsonl_path) as emit_line:
 
-        def on_result(index, job, payload, cached):
-            record = _record_from_payload(points[index], payload, cached)
-            by_index[index] = record
-            emit_line(record.to_json_dict())
-            if progress is not None:
-                progress(record)
+            def on_result(index, job, payload, cached):
+                record = _record_from_payload(
+                    points[index], payload, cached
+                )
+                by_index[index] = record
+                emit_line(record.to_json_dict())
+                if progress is not None:
+                    progress(record)
 
-        batch = service.run(job_list, on_result=on_result)
-        result = SweepResult(
-            records=[
-                by_index[i] for i in range(len(points)) if i in by_index
-            ],
-        )
-        for failure in batch.failures:
-            sweep_failure = SweepFailure(
-                point=points[failure.index],
-                error=failure.error,
-                attempts=failure.attempts,
+            batch = service.run(
+                job_list, on_result=on_result, journal=journal
             )
-            result.failures.append(sweep_failure)
-            emit_line(sweep_failure.to_json_dict())
+            result = SweepResult(
+                records=[
+                    by_index[i]
+                    for i in range(len(points))
+                    if i in by_index
+                ],
+            )
+            for failure in batch.failures:
+                sweep_failure = SweepFailure(
+                    point=points[failure.index],
+                    error=failure.error,
+                    attempts=failure.attempts,
+                )
+                result.failures.append(sweep_failure)
+                emit_line(sweep_failure.to_json_dict())
+    finally:
+        if journal is not None:
+            journal.close()
     return result
 
 

@@ -29,15 +29,32 @@ Quickstart::
         print(job.label, payload["metrics"]["achieved_gbps"])
 """
 
-from repro.service.cache import DEFAULT_CACHE_DIR, CacheStats, ResultCache
-from repro.service.events import JobFailed, JobFinished, JobStarted
+from repro.service.cache import (
+    CACHE_MODES,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+)
+from repro.service.events import (
+    CacheFault,
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    ServiceDegraded,
+)
 from repro.service.executors import (
     EXECUTORS,
     execute_job,
     stack_from_payload,
     stack_to_payload,
 )
+from repro.service.health import (
+    DEFAULT_BACKOFF_CAP_S,
+    BackoffPolicy,
+    CircuitBreaker,
+)
 from repro.service.job import JOB_FORMAT, JOB_KINDS, Job
+from repro.service.journal import JOURNAL_FORMAT, BatchJournal
 from repro.service.pool import PoolEvent, WorkerPool, default_worker_count
 from repro.service.service import (
     BatchResult,
@@ -47,13 +64,20 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "BackoffPolicy",
+    "BatchJournal",
     "BatchResult",
+    "CACHE_MODES",
+    "CacheFault",
     "CacheStats",
+    "CircuitBreaker",
+    "DEFAULT_BACKOFF_CAP_S",
     "DEFAULT_CACHE_DIR",
     "EXECUTORS",
     "ExecutionService",
     "JOB_FORMAT",
     "JOB_KINDS",
+    "JOURNAL_FORMAT",
     "Job",
     "JobFailed",
     "JobFailure",
@@ -61,6 +85,7 @@ __all__ = [
     "JobStarted",
     "PoolEvent",
     "ResultCache",
+    "ServiceDegraded",
     "WorkerPool",
     "default_worker_count",
     "execute_job",

@@ -19,11 +19,25 @@ Entry format (one JSON file per result)::
       "payload": {... executor payload ...}
     }
 
-Robustness: writes are atomic (temp file + ``os.replace``), unreadable
-or mismatched entries count as misses and are deleted, and
-:meth:`ResultCache.evict` prunes by entry count and/or age (oldest
-write time first). Nothing here locks — concurrent writers of the same
-digest race benignly because they write identical content.
+Robustness — the explicit error policy: **``get`` and ``put`` never
+raise**. Writes are atomic (temp file + ``os.replace``); unreadable or
+mismatched entries count as misses and are deleted (an
+``invalid-entry`` self-heal); IO errors on either side are counted in
+:class:`CacheStats` and published as
+:class:`~repro.service.events.CacheFault` on the attached bus instead
+of failing the batch. Persistent errors walk the degradation ladder
+
+    ``ok`` → ``read-only`` (``write_error_limit`` consecutive write
+    failures, e.g. a full or read-only disk: stop writing, keep
+    serving hits) → ``bypass`` (``read_error_limit`` consecutive read
+    failures too: stop touching the disk entirely)
+
+publishing a :class:`~repro.service.events.ServiceDegraded` event per
+transition. A degraded batch still completes with correct results —
+every miss simply recomputes. :meth:`ResultCache.evict` prunes by
+entry count and/or age (oldest write time first). Nothing here locks —
+concurrent writers of the same digest race benignly because they write
+identical content.
 """
 
 from __future__ import annotations
@@ -40,15 +54,20 @@ from repro.service.job import JOB_FORMAT, Job
 #: Conventional cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
 
+#: Operating modes along the degradation ladder, healthiest first.
+CACHE_MODES = ("ok", "read-only", "bypass")
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters for one :class:`ResultCache` instance."""
+    """Hit/miss/write/error counters for one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
-    invalid: int = 0  # corrupt/mismatched entries dropped
+    invalid: int = 0  # corrupt/mismatched entries self-healed (deleted)
+    read_errors: int = 0   # OSError reading an entry (treated as miss)
+    write_errors: int = 0  # OSError writing an entry (incl. disk-full)
 
     @property
     def lookups(self) -> int:
@@ -70,11 +89,25 @@ class ResultCache:
             unbounded. :meth:`put` auto-evicts past ``2 * max_entries``
             so long-running batches cannot grow the directory without
             bound between explicit evictions.
+        write_error_limit: consecutive :meth:`put` IO failures before
+            the cache trips into ``read-only`` mode.
+        read_error_limit: consecutive :meth:`get` IO failures before
+            the cache trips into ``bypass`` mode.
+        bus: optional :class:`~repro.core.events.EventBus` receiving
+            :class:`~repro.service.events.CacheFault` per absorbed
+            error and :class:`~repro.service.events.ServiceDegraded`
+            per mode transition. The execution service attaches its
+            own bus automatically.
     """
 
     root: str | Path = DEFAULT_CACHE_DIR
     max_entries: int | None = None
+    write_error_limit: int = 3
+    read_error_limit: int = 3
+    bus: object | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Current rung on the degradation ladder (see :data:`CACHE_MODES`).
+    mode: str = field(default="ok", init=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -83,6 +116,14 @@ class ResultCache:
                 f"ResultCache.max_entries must be >= 1 or None, "
                 f"got {self.max_entries!r}"
             )
+        if self.write_error_limit < 1 or self.read_error_limit < 1:
+            raise ConfigurationError(
+                "ResultCache error limits must be >= 1, got "
+                f"write_error_limit={self.write_error_limit!r}, "
+                f"read_error_limit={self.read_error_limit!r}"
+            )
+        self._consecutive_read_errors = 0
+        self._consecutive_write_errors = 0
 
     # ------------------------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -92,40 +133,62 @@ class ResultCache:
     def get(self, digest: str) -> dict | None:
         """The cached payload for `digest`, or None on a miss.
 
-        Corrupt files, foreign formats, and digest mismatches are
-        treated as misses and removed so they cannot mask themselves as
-        hits forever.
+        Never raises. Corrupt files, foreign formats, and digest
+        mismatches are treated as misses and removed so they cannot
+        mask themselves as hits forever; IO errors are counted
+        (``stats.read_errors``), published as ``CacheFault`` events,
+        and trip ``bypass`` mode once persistent.
         """
+        if self.mode == "bypass":
+            self.stats.misses += 1
+            return None
         path = self.path_for(digest)
         try:
-            with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
+            entry = self._read_entry(path, digest)
         except FileNotFoundError:
             self.stats.misses += 1
+            self._consecutive_read_errors = 0
             return None
-        except (OSError, json.JSONDecodeError):
-            self._drop(path)
-            self.stats.invalid += 1
+        except json.JSONDecodeError as error:
+            self._heal(path, digest, f"unparseable entry: {error}")
+            return None
+        except OSError as error:
+            self.stats.read_errors += 1
             self.stats.misses += 1
+            self._consecutive_read_errors += 1
+            self._fault("read-error", digest, str(error))
+            if self._consecutive_read_errors >= self.read_error_limit:
+                self._degrade(
+                    "bypass",
+                    f"{self._consecutive_read_errors} consecutive read "
+                    f"errors (last: {error})",
+                )
             return None
+        self._consecutive_read_errors = 0
         if (
             not isinstance(entry, dict)
             or entry.get("format") != JOB_FORMAT
             or entry.get("digest") != digest
             or "payload" not in entry
         ):
-            self._drop(path)
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self._heal(path, digest, "foreign format or digest mismatch")
             return None
         self.stats.hits += 1
         return entry["payload"]
 
-    def put(self, job: Job, payload: dict) -> Path:
-        """Store `payload` under `job.digest()`; returns the entry path."""
+    def put(self, job: Job, payload: dict) -> Path | None:
+        """Store `payload` under `job.digest()`; returns the entry path.
+
+        Never raises. In ``read-only``/``bypass`` mode, or when the
+        write itself fails (counted in ``stats.write_errors``,
+        published as a ``CacheFault``), it returns None and the batch
+        carries on uncached. ``write_error_limit`` consecutive failures
+        trip ``read-only`` mode.
+        """
+        if self.mode != "ok":
+            return None
         digest = job.digest()
         path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         body = json.dumps({
             "format": JOB_FORMAT,
             "digest": digest,
@@ -133,12 +196,20 @@ class ResultCache:
             "created_unix": time.time(),
             "payload": payload,
         }, sort_keys=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:
-            tmp.write_text(body, encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+            self._write_entry(path, digest, body)
+        except OSError as error:
+            self.stats.write_errors += 1
+            self._consecutive_write_errors += 1
+            self._fault("write-error", digest, str(error))
+            if self._consecutive_write_errors >= self.write_error_limit:
+                self._degrade(
+                    "read-only",
+                    f"{self._consecutive_write_errors} consecutive "
+                    f"write errors (last: {error})",
+                )
+            return None
+        self._consecutive_write_errors = 0
         self.stats.writes += 1
         if self.max_entries is not None:
             # Opportunistic pruning: only scan the directory once the
@@ -146,6 +217,55 @@ class ResultCache:
             if self.stats.writes % self.max_entries == 0:
                 self.evict()
         return path
+
+    # ------------------------------------------------------------------
+    # IO seams (overridden by the chaos harness to inject faults)
+    # ------------------------------------------------------------------
+    def _read_entry(self, path: Path, digest: str) -> dict:
+        """Read and parse one entry file (raises OSError/JSON errors)."""
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _write_entry(self, path: Path, digest: str, body: str) -> None:
+        """Atomically write one entry file (raises OSError)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text(body, encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Error-policy internals
+    # ------------------------------------------------------------------
+    def _heal(self, path: Path, digest: str, detail: str) -> None:
+        """Drop a corrupt entry: count, publish, treat as a miss."""
+        self._drop(path)
+        self.stats.invalid += 1
+        self.stats.misses += 1
+        self._consecutive_read_errors = 0
+        self._fault("invalid-entry", digest, detail)
+
+    def _fault(self, kind: str, digest: str, detail: str) -> None:
+        if self.bus is not None:
+            from repro.service.events import CacheFault
+
+            self.bus.publish(CacheFault(
+                kind=kind, digest=digest, detail=detail,
+            ))
+
+    def _degrade(self, mode: str, reason: str) -> None:
+        """Move down the ladder (never up) and publish the transition."""
+        if CACHE_MODES.index(mode) <= CACHE_MODES.index(self.mode):
+            return
+        self.mode = mode
+        if self.bus is not None:
+            from repro.service.events import ServiceDegraded
+
+            self.bus.publish(ServiceDegraded(
+                component="cache", mode=mode, reason=reason,
+            ))
 
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:

@@ -1,0 +1,245 @@
+"""Fault injection for the execution service (the chaos harness).
+
+Everything the chaos test matrix (``tests/service/test_chaos.py``,
+``scripts/chaos_smoke.py``) uses to make the service misbehave on
+purpose, so the robustness contract — *every batch either completes
+with correct fingerprints or fails with a documented exit code; never
+hangs, never silently drops a point* — is pinned by tests rather than
+asserted in prose. See ``docs/chaos.md``.
+
+Two injection planes, matching where real faults strike:
+
+* **Worker plane** (:func:`maybe_inject`, :data:`CHAOS_ENV`): scripted
+  crashes, hangs and errors injected at the top of
+  :func:`repro.service.executors.execute_job`. The plan travels as
+  JSON in the ``REPRO_CHAOS`` environment variable, so it survives the
+  ``spawn`` boundary into pool workers; per-job attempt counting uses
+  token files in the plan's ``state_dir`` (the same cross-process trick
+  as the probe executor), so "crash the first N attempts" works even
+  though every attempt may land in a different process.
+* **Cache plane** (:class:`ChaosCache`): a :class:`ResultCache`
+  subclass whose IO seams (``_read_entry`` / ``_write_entry``) raise
+  scripted ``OSError``s (EIO read faults, EIO/ENOSPC write faults —
+  the disk-full case) or corrupt entries in flight. This exercises the
+  cache's error policy and degradation ladder without needing an
+  actually broken disk (tests run as root, so chmod tricks do not
+  bite).
+
+Injection never changes a job's content digest — faults are keyed on
+the job *label* out-of-band — so chaos cannot silently alter what the
+cache or the fingerprint check considers "the same job".
+
+All schedules are seeded and deterministic: :func:`pick_targets`
+chooses victim jobs with a ``random.Random(seed)``, and the counter
+files make "first N attempts" exact, so a failing chaos case replays
+bit-identically from its seed.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import (
+    ConfigurationError,
+    SimulationTimeoutError,
+    WorkerCrashError,
+)
+from repro.service.cache import ResultCache
+from repro.service.job import Job
+
+__all__ = [
+    "CHAOS_ENV",
+    "FAULT_KINDS",
+    "ChaosCache",
+    "chaos_plan",
+    "maybe_inject",
+    "pick_targets",
+]
+
+#: Environment variable carrying the JSON worker-plane fault plan.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Worker-plane fault kinds understood by :func:`maybe_inject`.
+FAULT_KINDS = ("crash", "hang", "error")
+
+
+def chaos_plan(
+    state_dir: str | os.PathLike,
+    faults: Sequence[dict],
+) -> str:
+    """Serialize a worker-plane fault plan for :data:`CHAOS_ENV`.
+
+    Each fault is a dict: ``{"match": <job label>, "kind": "crash" |
+    "hang" | "error", "times": N, "hang_s": seconds}`` — inject `kind`
+    into the job whose label equals `match`, on its first `times`
+    attempts (default 1). Set the result as the ``REPRO_CHAOS``
+    environment variable *before* the pool spawns its workers.
+    """
+    for fault in faults:
+        if fault.get("kind") not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown chaos fault kind {fault.get('kind')!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if "match" not in fault:
+            raise ConfigurationError(
+                f"chaos fault needs a 'match' label: {fault!r}"
+            )
+    return json.dumps(
+        {"state_dir": os.fspath(state_dir), "faults": list(faults)},
+        sort_keys=True,
+    )
+
+
+def maybe_inject(job: Job) -> None:
+    """Apply the :data:`CHAOS_ENV` plan to `job`, if any names it.
+
+    Called by :func:`repro.service.executors.execute_job` before the
+    real executor runs (guarded by a plain env-var check, so the
+    production fast path costs one dict lookup). Raises
+    :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.SimulationTimeoutError` — or never returns at
+    all (``os._exit`` inside a pool worker, busy-wait into the pool's
+    hard-kill window for hangs).
+    """
+    raw = os.environ.get(CHAOS_ENV)
+    if not raw:
+        return
+    plan = json.loads(raw)
+    state_dir = plan.get("state_dir")
+    for fault in plan.get("faults", ()):
+        if fault.get("match") != job.label:
+            continue
+        times = int(fault.get("times", 1))
+        attempt = _count_attempt(state_dir, job, fault)
+        if attempt > times:
+            continue
+        kind = fault.get("kind")
+        if kind == "crash":
+            _crash(attempt)
+        elif kind == "hang":
+            _hang(float(fault.get("hang_s", 1.0)), attempt)
+        elif kind == "error":
+            raise SimulationTimeoutError(
+                f"chaos: injected error (attempt {attempt})"
+            )
+
+
+def _count_attempt(
+    state_dir: str | None, job: Job, fault: dict
+) -> int:
+    """1-based attempt number for this (job, fault), counted across
+    processes via token files — attempt K leaves K tokens behind."""
+    if not state_dir:
+        return 1  # no state: inject on every attempt
+    os.makedirs(state_dir, exist_ok=True)
+    stem = f"chaos-{fault.get('kind')}-{job.digest()[:16]}"
+    attempt = len(
+        [n for n in os.listdir(state_dir) if n.startswith(stem)]
+    ) + 1
+    token = os.path.join(state_dir, f"{stem}-{attempt:03d}.token")
+    with open(token, "w"):
+        pass
+    return attempt
+
+
+def _crash(attempt: int) -> None:
+    """Die the hard way: ``os._exit`` in a pool worker (no traceback,
+    no cleanup — exactly what an OOM kill looks like to the parent),
+    a :class:`WorkerCrashError` inline (inline has no process to kill)."""
+    from repro.service import worker
+
+    if worker.IN_WORKER:
+        os._exit(23)
+    raise WorkerCrashError(
+        f"chaos: injected crash (attempt {attempt}, inline mode)"
+    )
+
+
+def _hang(hang_s: float, attempt: int) -> None:
+    """Busy-wait `hang_s` ignoring all guards, then fail cooperatively.
+
+    In a pool, pick ``hang_s`` beyond the job's hard-kill deadline and
+    the worker is terminated mid-wait (the real hard-hang path); inline
+    — which has no hard kill by design — the wait completes and the
+    trailing :class:`SimulationTimeoutError` models the cooperative
+    guard catching the stall, so an inline chaos run never wedges.
+    """
+    deadline = time.monotonic() + hang_s
+    while time.monotonic() < deadline:
+        time.sleep(min(0.05, hang_s))
+    raise SimulationTimeoutError(
+        f"chaos: injected hang of {hang_s}s elapsed (attempt {attempt})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache plane
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosCache(ResultCache):
+    """A :class:`ResultCache` with scripted IO faults.
+
+    The fault counters are consumed front-to-back: the next
+    ``read_faults`` entry reads raise ``OSError(EIO)``, the next
+    ``corrupt_faults`` reads of an *existing* entry parse as garbage
+    (driving the invalid-entry self-heal), the next ``write_faults``
+    writes raise ``OSError(write_errno)`` — pass ``errno.ENOSPC`` for
+    the disk-full case. Counters at zero leave the cache behaving
+    exactly like its parent class, so a chaos run's tail is a healthy
+    cache again (unless the ladder already tripped).
+    """
+
+    read_faults: int = 0
+    corrupt_faults: int = 0
+    write_faults: int = 0
+    write_errno: int = errno.EIO
+
+    def _read_entry(self, path, digest):
+        if self.read_faults > 0:
+            self.read_faults -= 1
+            raise OSError(
+                errno.EIO, "chaos: injected read fault", str(path)
+            )
+        entry = super()._read_entry(path, digest)
+        if self.corrupt_faults > 0:
+            self.corrupt_faults -= 1
+            raise json.JSONDecodeError(
+                "chaos: injected corrupt entry", doc="\x00", pos=0
+            )
+        return entry
+
+    def _write_entry(self, path, digest, body) -> None:
+        if self.write_faults > 0:
+            self.write_faults -= 1
+            raise OSError(
+                self.write_errno,
+                "chaos: injected write fault "
+                f"({errno.errorcode.get(self.write_errno, '?')})",
+                str(path),
+            )
+        super()._write_entry(path, digest, body)
+
+
+def pick_targets(
+    labels: Sequence[str], count: int, seed: int = 0
+) -> list[str]:
+    """Choose `count` victim labels deterministically from `seed`.
+
+    Sampling without replacement via ``random.Random(seed)`` — the same
+    seed over the same labels always elects the same victims, so a
+    chaos case is replayable from ``(labels, count, seed)`` alone.
+    """
+    if count > len(labels):
+        raise ConfigurationError(
+            f"cannot pick {count} chaos targets from "
+            f"{len(labels)} label(s)"
+        )
+    rng = random.Random(seed)
+    return sorted(rng.sample(list(labels), count))

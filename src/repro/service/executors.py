@@ -283,6 +283,13 @@ def execute_job(job: Job) -> tuple[dict, bool]:
     executors are wrapped in :class:`WorkerCrashError` so callers only
     ever see the library's error hierarchy.
     """
+    if "REPRO_CHAOS" in os.environ:
+        # Chaos harness hook (tests/scripts only): scripted crashes,
+        # hangs and errors keyed on the job label. One dict lookup on
+        # the production fast path; see repro.service.chaos.
+        from repro.service.chaos import maybe_inject
+
+        maybe_inject(job)
     executor = EXECUTORS.create(job.kind)
     try:
         payload = executor.execute(job)

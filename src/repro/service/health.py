@@ -1,0 +1,145 @@
+"""Graceful-degradation primitives for the execution service.
+
+Two small, deterministic state machines that
+:class:`~repro.service.service.ExecutionService` composes so a batch
+*degrades* under faults instead of failing or hanging:
+
+* :class:`BackoffPolicy` — seeded, jittered exponential retry delays
+  with a per-attempt cap and an optional *total* sleep budget. The
+  jitter de-synchronizes retry storms (many jobs failing at once no
+  longer all wake together) while staying bit-reproducible under a
+  fixed seed; the budget bounds how long a batch can spend asleep in
+  total, so pathological fault patterns cannot stretch a run without
+  bound.
+* :class:`CircuitBreaker` — consecutive-failure counter with a
+  threshold, used for worker-spawn failures: once open, the service
+  stops trying to build a pool and falls back to inline execution (or
+  raises :class:`~repro.errors.CircuitOpenError` when fallback is
+  disabled).
+
+The cache's own degradation ladder (ok → read-only → bypass) lives in
+:mod:`repro.service.cache`; all transitions publish
+:class:`~repro.service.events.ServiceDegraded` on the service bus.
+See ``docs/chaos.md`` for the full ladder and the chaos suite that
+pins each transition.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackoffPolicy", "CircuitBreaker", "DEFAULT_BACKOFF_CAP_S"]
+
+#: Default per-attempt sleep ceiling — one retry never waits longer
+#: than this, however deep the exponential schedule has grown.
+DEFAULT_BACKOFF_CAP_S = 30.0
+
+
+class BackoffPolicy:
+    """Jittered, capped exponential backoff with a total sleep budget.
+
+    The delay before retry ``k`` (1-based) is::
+
+        raw   = min(cap_s, base_s * 2 ** (k - 1))
+        delay = raw * (0.5 + 0.5 * rng.random())      # rng seeded
+
+    i.e. "equal jitter": uniformly distributed in ``[raw/2, raw]``, so
+    the exponential envelope is kept but concurrent retries spread out.
+    The sequence of delays is deterministic for a fixed ``seed``.
+
+    When ``budget_s`` is set, delays are additionally clipped to the
+    remaining budget and :meth:`delay` returns ``None`` once the budget
+    is spent — the caller should stop retrying (the service converts
+    this into a terminal failure and publishes a ``backoff``/
+    ``no-retry`` :class:`~repro.service.events.ServiceDegraded` event).
+    """
+
+    def __init__(
+        self,
+        base_s: float = 1.0,
+        cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        budget_s: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        if base_s < 0:
+            raise ConfigurationError(
+                f"BackoffPolicy(base_s=...) must be >= 0, got {base_s!r}"
+            )
+        if cap_s <= 0:
+            raise ConfigurationError(
+                f"BackoffPolicy(cap_s=...) must be > 0, got {cap_s!r}"
+            )
+        if budget_s is not None and budget_s < 0:
+            raise ConfigurationError(
+                f"BackoffPolicy(budget_s=...) must be >= 0 or None, "
+                f"got {budget_s!r}"
+            )
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.budget_s = budget_s
+        self.seed = seed
+        self._rng = random.Random(seed)
+        #: Total sleep time handed out so far.
+        self.spent_s = 0.0
+        #: True once :meth:`delay` returned None because of the budget.
+        self.exhausted = False
+
+    def delay(self, attempt: int) -> float | None:
+        """The sleep before retrying after failed attempt `attempt`.
+
+        Returns ``None`` when the total budget is exhausted (and sets
+        :attr:`exhausted`); otherwise a delay in seconds, counted
+        against the budget.
+        """
+        if attempt < 1:
+            raise ConfigurationError(
+                f"backoff attempt must be >= 1, got {attempt!r}"
+            )
+        raw = min(self.cap_s, self.base_s * 2 ** (attempt - 1))
+        delay = raw * (0.5 + 0.5 * self._rng.random())
+        if self.budget_s is not None:
+            remaining = self.budget_s - self.spent_s
+            if remaining <= 0.0:
+                self.exhausted = True
+                return None
+            delay = min(delay, remaining)
+        self.spent_s += delay
+        return delay
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: trips open at a threshold.
+
+    Plain counting, no timers: :meth:`record_failure` increments a
+    consecutive-failure count and opens the circuit once it reaches
+    ``threshold``; :meth:`record_success` resets it. The service uses
+    one per batch for worker-spawn failures, so the open state never
+    leaks across batches.
+    """
+
+    def __init__(self, threshold: int = 3, name: str = "pool") -> None:
+        if threshold < 1:
+            raise ConfigurationError(
+                f"CircuitBreaker(threshold=...) must be >= 1, "
+                f"got {threshold!r}"
+            )
+        self.threshold = threshold
+        self.name = name
+        self.failures = 0
+        self.open = False
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this one opened the
+        circuit (so callers publish the transition exactly once)."""
+        self.failures += 1
+        if not self.open and self.failures >= self.threshold:
+            self.open = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Reset the consecutive-failure count (circuit stays open if
+        it already opened — a batch never un-degrades)."""
+        self.failures = 0

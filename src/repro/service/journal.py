@@ -1,0 +1,228 @@
+"""Crash-safe batch journal: an append-only JSONL write-ahead log.
+
+A :class:`BatchJournal` records every terminal job outcome of a batch
+— one JSON line per completed job (digest + full payload) or terminal
+failure — flushed and fsync'd as it happens. If the process dies
+mid-batch (crash, OOM kill, Ctrl-C), a re-run that *resumes* from the
+same journal replays the recorded payloads and recomputes only the
+unfinished jobs; because jobs are content-addressed, replay is keyed
+by job digest and is therefore safe even if the batch's job list
+changed between runs (only digests that still appear are reused).
+
+File format (one JSON object per line)::
+
+    {"kind": "open", "format": 1, "created_unix": ...}
+    {"kind": "done", "digest": "...", "label": "...",
+     "cacheable": true, "payload": {...}}
+    {"kind": "failed", "digest": "...", "label": "...",
+     "error_type": "...", "message": "...", "attempts": 2}
+
+Corruption policy: a **truncated final line** is the expected fingerprint
+of a crash mid-append — it is dropped (and truncated away before the
+next append) and the journal stays resumable. A missing/foreign header
+or an unparseable *non-final* line means the file cannot be trusted and
+raises :class:`~repro.errors.JournalCorruptError` (CLI exit code 14).
+
+``failed`` records are replayed as *history*, not as outcomes: a
+resumed batch retries previously failed jobs (their fault may have
+been transient — that is rather the point of resuming).
+
+Wired through :meth:`repro.service.service.ExecutionService.run`
+(``journal=...``), :func:`repro.experiments.sweep.run_sweep`
+(``journal_path=`` / ``resume=``), ``scripts/run_all_figures.py``
+(``--journal`` / ``--resume``) and ``dram-stacks batch --journal
+PATH [--resume]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.errors import JournalCorruptError
+
+__all__ = ["BatchJournal", "JOURNAL_FORMAT"]
+
+#: Bumped when the journal line schema changes shape; a journal written
+#: by a different format is refused rather than misread.
+JOURNAL_FORMAT = 1
+
+
+class BatchJournal:
+    """Append-only JSONL WAL of terminal job outcomes, keyed by digest.
+
+    Args:
+        path: journal file; parent directories are created on demand.
+        resume: when True and `path` exists, replay it —
+            :attr:`completed` then maps each finished job's digest to
+            its ``(payload, cacheable)`` pair and appends continue the
+            existing file. When False (a fresh batch), any existing
+            file is truncated.
+
+    Usable as a context manager; :meth:`close` is idempotent. Appends
+    are flushed and fsync'd per record: a crash between records loses
+    nothing, a crash mid-append loses only the partial final line.
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        #: digest -> (payload, cacheable) for every replayed ``done``.
+        self.completed: dict[str, tuple[dict, bool]] = {}
+        #: digest -> failure dicts replayed from a previous run
+        #: (informational; resumed batches retry these jobs).
+        self.prior_failures: dict[str, dict] = {}
+        self._handle: IO[str] | None = None
+        valid_bytes = 0
+        if resume and self.path.exists():
+            valid_bytes = self._replay()
+        self._open(valid_bytes if resume else 0)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> int:
+        """Load the journal; returns the byte offset of the valid prefix.
+
+        Raises :class:`JournalCorruptError` for anything worse than a
+        truncated final line.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError as error:
+            raise JournalCorruptError(
+                f"cannot read journal {self.path}: {error}"
+            ) from error
+        # The valid prefix ends at the last newline: our writer always
+        # terminates records with "\n" in the same write, so any
+        # unterminated tail is a crash-mid-append artifact and is
+        # dropped (at most one job's work is recomputed).
+        offset = raw.rfind(b"\n") + 1
+        records = []
+        lines = raw[:offset].split(b"\n")[:-1]
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "kind" not in record:
+                    raise ValueError("not a journal record")
+            except (ValueError, UnicodeDecodeError) as error:
+                raise JournalCorruptError(
+                    f"journal {self.path} line {i + 1} is corrupt: "
+                    f"{error}"
+                ) from error
+            records.append((i, record))
+        if not records:
+            return 0
+        head_index, head = records[0]
+        if head.get("kind") != "open" or head.get("format") != JOURNAL_FORMAT:
+            raise JournalCorruptError(
+                f"journal {self.path} has no valid header (expected "
+                f'{{"kind": "open", "format": {JOURNAL_FORMAT}}}, got '
+                f"line {head_index + 1}: {head!r})"
+            )
+        for line_number, record in records[1:]:
+            kind = record.get("kind")
+            if kind == "done":
+                try:
+                    digest = record["digest"]
+                    payload = record["payload"]
+                except KeyError as error:
+                    raise JournalCorruptError(
+                        f"journal {self.path} line {line_number + 1}: "
+                        f"done record missing {error}"
+                    ) from error
+                self.completed[digest] = (
+                    payload, bool(record.get("cacheable", True))
+                )
+                self.prior_failures.pop(digest, None)
+            elif kind == "failed":
+                digest = record.get("digest", "")
+                self.prior_failures[digest] = record
+            elif kind == "open":
+                # A journal may be resumed several times; repeated
+                # headers from earlier resumes are fine.
+                if record.get("format") != JOURNAL_FORMAT:
+                    raise JournalCorruptError(
+                        f"journal {self.path} line {line_number + 1} "
+                        f"was written by format "
+                        f"{record.get('format')!r}; this build expects "
+                        f"{JOURNAL_FORMAT}"
+                    )
+            else:
+                raise JournalCorruptError(
+                    f"journal {self.path} line {line_number + 1}: "
+                    f"unknown record kind {kind!r}"
+                )
+        return offset
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def _open(self, valid_bytes: int) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.exists():
+            # Truncate either the whole file (fresh batch) or just a
+            # partial final line left by a crash mid-append.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._append({
+            "kind": "open",
+            "format": JOURNAL_FORMAT,
+            "created_unix": time.time(),
+        })
+
+    def _append(self, record: dict) -> None:
+        assert self._handle is not None, "journal is closed"
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_done(
+        self, digest: str, label: str, payload: dict, cacheable: bool
+    ) -> None:
+        """Journal one finished job (including cache/journal hits)."""
+        self._append({
+            "kind": "done",
+            "digest": digest,
+            "label": label,
+            "cacheable": bool(cacheable),
+            "payload": payload,
+        })
+        self.completed[digest] = (payload, bool(cacheable))
+
+    def record_failed(
+        self, digest: str, label: str, error_type: str, message: str,
+        attempts: int,
+    ) -> None:
+        """Journal one terminal failure (replayed as history only)."""
+        self._append({
+            "kind": "failed",
+            "digest": digest,
+            "label": label,
+            "error_type": error_type,
+            "message": message,
+            "attempts": attempts,
+        })
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and close the journal (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        """Number of distinct completed digests available for replay."""
+        return len(self.completed)

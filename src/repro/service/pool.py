@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WorkerSpawnError
 from repro.service.job import Job
 from repro.service.worker import SHUTDOWN, worker_main
 
@@ -115,8 +115,14 @@ class WorkerPool:
         if self._started:
             return self
         self._result_queue = self._ctx.Queue()
-        for _ in range(self.size):
-            self._spawn_worker()
+        try:
+            for _ in range(self.size):
+                self._spawn_worker()
+        except WorkerSpawnError:
+            # Partial start: tear down whatever did come up so a failed
+            # pool never leaks processes or queues.
+            self.shutdown()
+            raise
         self._started = True
         return self
 
@@ -136,6 +142,13 @@ class WorkerPool:
         os.environ["PYTHONPATH"] = os.pathsep.join(parts)
         try:
             worker.process.start()
+        except OSError as error:
+            worker.task_queue.cancel_join_thread()
+            worker.task_queue.close()
+            raise WorkerSpawnError(
+                f"could not start worker process "
+                f"{worker.id}: {error}"
+            ) from error
         finally:
             if previous is None:
                 os.environ.pop("PYTHONPATH", None)

@@ -5,8 +5,8 @@ of :class:`~repro.service.job.Job` descriptions and produces one
 payload (or terminal failure) per job, consulting the result cache
 before doing any work, fanning execution out over a
 :class:`~repro.service.pool.WorkerPool` (or running inline for
-``workers=1``), retrying failed attempts with exponential backoff, and
-publishing :mod:`repro.service.events` topics on an
+``workers=1``), retrying failed attempts with jittered exponential
+backoff, and publishing :mod:`repro.service.events` topics on an
 :class:`~repro.core.events.EventBus` for progress consumers.
 
 Determinism: jobs are independent and each runs in a fresh, seeded
@@ -16,6 +16,19 @@ completion order, or whether they came from the cache. The parallel
 sweep tests pin exactly this (serial vs 4-worker fingerprint
 equality).
 
+Robustness (see ``docs/chaos.md`` for the full story):
+
+* **Crash-safe resume** — pass ``journal=`` to :meth:`run` and every
+  terminal outcome is WAL'd (:mod:`repro.service.journal`); a batch
+  killed mid-run resumes recomputing only the unfinished jobs.
+* **Graceful degradation** — repeated worker-spawn failures trip a
+  circuit breaker (:mod:`repro.service.health`) that falls back to
+  inline execution; a cache with persistent IO errors trips into
+  read-only then bypass mode; a spent retry-sleep budget stops
+  retries. Each transition publishes a
+  :class:`~repro.service.events.ServiceDegraded` event, and the batch
+  still completes with correct results.
+
 Inline mode (``workers=1``) executes in-process: no spawn cost, full
 monkeypatch-ability, cooperative timeouts only — crash isolation
 requires a real pool.
@@ -24,6 +37,7 @@ requires a real pool.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -31,15 +45,28 @@ from typing import Callable, Sequence
 import repro.errors as errors_mod
 from repro.core.events import EventBus
 from repro.errors import (
+    CircuitOpenError,
     ConfigurationError,
     ReproError,
     SimulationTimeoutError,
     WorkerCrashError,
+    WorkerSpawnError,
 )
 from repro.service.cache import ResultCache
-from repro.service.events import JobFailed, JobFinished, JobStarted
+from repro.service.events import (
+    JobFailed,
+    JobFinished,
+    JobStarted,
+    ServiceDegraded,
+)
 from repro.service.executors import execute_job
+from repro.service.health import (
+    DEFAULT_BACKOFF_CAP_S,
+    BackoffPolicy,
+    CircuitBreaker,
+)
 from repro.service.job import Job
+from repro.service.journal import BatchJournal
 from repro.service.pool import WorkerPool
 
 #: ``on_result`` callback: (index, job, payload, cached) — called in
@@ -69,16 +96,26 @@ class BatchResult:
 
     jobs: list[Job]
     #: One payload per job (None where the job terminally failed).
-    payloads: list[dict | None]
+    payloads: list[dict | None] = field(default_factory=list)
     failures: list[JobFailure] = field(default_factory=list)
     cache_hits: int = 0
+    #: Jobs replayed from a resumed batch journal (not recomputed).
+    journal_hits: int = 0
     executed: int = 0
     elapsed_s: float = 0.0
+    #: Every :class:`~repro.service.events.ServiceDegraded` event
+    #: observed on the service bus while this batch ran.
+    degradations: list = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
         """True when every job produced a payload."""
         return not self.failures
+
+    @property
+    def degraded(self) -> bool:
+        """True when any component fell back during this batch."""
+        return bool(self.degradations)
 
     @property
     def hit_rate(self) -> float:
@@ -104,14 +141,31 @@ class ExecutionService:
     Args:
         workers: worker processes; 1 executes inline (no subprocess).
         cache: a :class:`ResultCache`, a directory path for one, or
-            None to disable caching.
+            None to disable caching. The service bus is attached to the
+            cache (unless it already has one) so cache faults and
+            degradations are observable.
         bus: event bus for :mod:`repro.service.events` topics; a
             private bus is created when omitted (so ``service.bus`` is
             always subscribable).
         timeout_s: default per-job wall-clock budget; a job's own
             ``timeout_s`` takes precedence.
         retries: extra attempts per failing job.
-        backoff_s: sleep before retry ``k`` is ``backoff_s * 2**(k-1)``.
+        backoff_s: base retry delay; see :class:`BackoffPolicy` for the
+            jittered formula (``min(cap, base * 2**(k-1))`` scaled
+            uniformly into ``[1/2, 1]`` by a seeded RNG).
+        backoff_cap_s: per-attempt sleep ceiling.
+        retry_budget_s: total sleep budget across the whole batch;
+            once spent, failures become terminal without sleeping and a
+            ``backoff``/``no-retry`` degradation event is published.
+            None (default) means unbounded.
+        backoff_seed: seed for the jitter RNG — the delay sequence is
+            deterministic under a fixed seed.
+        fallback_inline: when the worker-spawn circuit breaker opens,
+            True (default) degrades the batch to inline execution;
+            False raises :class:`~repro.errors.CircuitOpenError`
+            (exit code 13).
+        spawn_failure_limit: consecutive worker-spawn failures before
+            the circuit breaker opens.
         start_method: multiprocessing start method (tests only; spawn
             is the supported default).
     """
@@ -124,6 +178,11 @@ class ExecutionService:
         timeout_s: float | None = None,
         retries: int = 0,
         backoff_s: float = 1.0,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        retry_budget_s: float | None = None,
+        backoff_seed: int = 0,
+        fallback_inline: bool = True,
+        spawn_failure_limit: int = 3,
         start_method: str = "spawn",
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
@@ -141,38 +200,116 @@ class ExecutionService:
             cache = ResultCache(cache)
         self.cache = cache
         self.bus = bus if bus is not None else EventBus()
+        if self.cache is not None and self.cache.bus is None:
+            self.cache.bus = self.bus
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.retry_budget_s = retry_budget_s
+        self.backoff_seed = backoff_seed
+        self.fallback_inline = fallback_inline
+        self.spawn_failure_limit = spawn_failure_limit
         self.start_method = start_method
         self._sleep = time.sleep  # patchable in tests
+        self._journal: BatchJournal | None = None
+        self._backoff_state = self._fresh_backoff()
+
+    def _fresh_backoff(self) -> BackoffPolicy:
+        return BackoffPolicy(
+            base_s=self.backoff_s,
+            cap_s=self.backoff_cap_s,
+            budget_s=self.retry_budget_s,
+            seed=self.backoff_seed,
+        )
 
     # ------------------------------------------------------------------
     def run(
         self,
         jobs: Sequence[Job],
         on_result: ResultCallback | None = None,
+        journal: BatchJournal | str | os.PathLike | None = None,
     ) -> BatchResult:
         """Execute `jobs`; returns payloads aligned with the input order.
 
         Failing jobs never abort the batch: after the retry budget they
         are recorded in ``result.failures`` and everything else still
         completes.
+
+        Args:
+            journal: a :class:`~repro.service.journal.BatchJournal`, or
+                a path for one (opened with ``resume=True``, so an
+                existing journal's finished jobs are replayed instead
+                of recomputed). Every terminal outcome is appended as
+                it happens, making the batch crash-resumable.
         """
         jobs = list(jobs)
+        own_journal = False
+        if journal is not None and not isinstance(journal, BatchJournal):
+            journal = BatchJournal(journal, resume=True)
+            own_journal = True
         started = time.perf_counter()
         result = BatchResult(jobs=jobs, payloads=[None] * len(jobs))
-        if jobs:
-            if self.workers == 1:
-                self._run_inline(jobs, result, on_result)
-            else:
-                self._run_pooled(jobs, result, on_result)
+        self._journal = journal
+        self._backoff_state = self._fresh_backoff()
+        record_degradation = result.degradations.append
+        self.bus.subscribe(ServiceDegraded, record_degradation)
+        try:
+            pending = self._replay_journal(jobs, result, on_result)
+            if pending:
+                if self.workers == 1:
+                    self._run_inline(pending, result, on_result)
+                else:
+                    self._run_pooled(pending, result, on_result)
+        finally:
+            self.bus.unsubscribe(ServiceDegraded, record_degradation)
+            self._journal = None
+            if own_journal:
+                journal.close()
         result.elapsed_s = time.perf_counter() - started
         return result
 
     # ------------------------------------------------------------------
     # Shared pieces
     # ------------------------------------------------------------------
+    def _replay_journal(
+        self,
+        jobs: list[Job],
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> list[tuple[int, Job, str]]:
+        """Serve journaled jobs; returns the still-pending work items.
+
+        Each item is ``(index, effective_job, digest)`` — the job with
+        the service default timeout applied and its content digest,
+        computed exactly once per batch.
+        """
+        pending: list[tuple[int, Job, str]] = []
+        completed = (
+            self._journal.completed if self._journal is not None else {}
+        )
+        for index, job in enumerate(jobs):
+            job = self._effective(job)
+            digest = job.digest()
+            replay = completed.get(digest)
+            if replay is None:
+                pending.append((index, job, digest))
+                continue
+            payload, _cacheable = replay
+            result.payloads[index] = payload
+            result.journal_hits += 1
+            self.bus.publish(JobFinished(
+                index=index,
+                digest=digest,
+                label=job.display_label,
+                elapsed_s=0.0,
+                attempts=0,
+                cached=True,
+            ))
+            if on_result is not None:
+                on_result(index, job, payload, True)
+        return pending
+
     def _effective(self, job: Job) -> Job:
         """Apply the service-level default timeout to a job."""
         if job.timeout_s is None and self.timeout_s is not None:
@@ -196,6 +333,10 @@ class ExecutionService:
             return False
         result.payloads[index] = payload
         result.cache_hits += 1
+        if self._journal is not None:
+            self._journal.record_done(
+                digest, job.display_label, payload, True
+            )
         self.bus.publish(JobFinished(
             index=index,
             digest=digest,
@@ -224,6 +365,10 @@ class ExecutionService:
             self.cache.put(job, payload)
         result.payloads[index] = payload
         result.executed += 1
+        if self._journal is not None:
+            self._journal.record_done(
+                digest, job.display_label, payload, cacheable
+            )
         self.bus.publish(JobFinished(
             index=index,
             digest=digest,
@@ -243,9 +388,16 @@ class ExecutionService:
         error: ReproError,
         attempt: int,
         result: BatchResult,
-    ) -> bool:
-        """Publish a failure; returns True when the job should retry."""
-        final = attempt > self.retries
+    ) -> float | None:
+        """Publish a failure; returns the backoff delay before the
+        retry, or None when the failure is terminal (retry budget spent
+        or the backoff deadline exhausted)."""
+        retry = attempt <= self.retries
+        delay = None
+        if retry:
+            delay = self._backoff(attempt)
+            if delay is None:
+                retry = False
         self.bus.publish(JobFailed(
             index=index,
             digest=digest,
@@ -253,29 +405,52 @@ class ExecutionService:
             error_type=type(error).__name__,
             message=str(error),
             attempt=attempt,
-            final=final,
+            final=not retry,
         ))
-        if final:
+        if not retry:
             result.failures.append(JobFailure(
                 job=job, index=index, error=error, attempts=attempt
             ))
-        return not final
+            if self._journal is not None:
+                self._journal.record_failed(
+                    digest, job.display_label,
+                    type(error).__name__, str(error), attempt,
+                )
+        return delay
 
-    def _backoff(self, attempt: int) -> float:
-        return self.backoff_s * 2 ** (attempt - 1)
+    def _backoff(self, attempt: int) -> float | None:
+        """Jittered, capped, budgeted sleep before retry `attempt`.
+
+        The formula (see :class:`~repro.service.health.BackoffPolicy`)
+        is ``min(backoff_cap_s, backoff_s * 2**(attempt-1))`` scaled
+        uniformly into ``[1/2, 1]`` of itself by an RNG seeded with
+        ``backoff_seed`` — deterministic under a fixed seed. Returns
+        None once ``retry_budget_s`` is spent; the first exhaustion
+        publishes a ``backoff``/``no-retry`` degradation event.
+        """
+        already_exhausted = self._backoff_state.exhausted
+        delay = self._backoff_state.delay(attempt)
+        if delay is None and not already_exhausted:
+            self.bus.publish(ServiceDegraded(
+                component="backoff",
+                mode="no-retry",
+                reason=(
+                    f"retry sleep budget of {self.retry_budget_s}s "
+                    f"spent; remaining failures are final"
+                ),
+            ))
+        return delay
 
     # ------------------------------------------------------------------
-    # Inline execution (workers=1)
+    # Inline execution (workers=1, and the pooled-fallback path)
     # ------------------------------------------------------------------
     def _run_inline(
         self,
-        jobs: list[Job],
+        items: list[tuple[int, Job, str]],
         result: BatchResult,
         on_result: ResultCallback | None,
     ) -> None:
-        for index, job in enumerate(jobs):
-            job = self._effective(job)
-            digest = job.digest()
+        for index, job, digest in items:
             if self._try_cache(index, job, digest, result, on_result):
                 continue
             attempt = 0
@@ -292,10 +467,11 @@ class ExecutionService:
                 try:
                     payload, cacheable = execute_job(job)
                 except ReproError as error:
-                    if self._fail_attempt(
+                    delay = self._fail_attempt(
                         index, job, digest, error, attempt, result
-                    ):
-                        self._sleep(self._backoff(attempt))
+                    )
+                    if delay is not None:
+                        self._sleep(delay)
                         continue
                     break
                 self._finish(
@@ -309,18 +485,75 @@ class ExecutionService:
     # ------------------------------------------------------------------
     def _run_pooled(
         self,
-        jobs: list[Job],
+        items: list[tuple[int, Job, str]],
         result: BatchResult,
         on_result: ResultCallback | None,
     ) -> None:
-        effective = [self._effective(job) for job in jobs]
-        digests = [job.digest() for job in effective]
+        """Pooled execution behind the worker-spawn circuit breaker.
+
+        Spawn failures (the pool cannot start or replace a worker)
+        retry the remaining work on a fresh pool until the breaker
+        opens; then the batch degrades to inline execution — or, with
+        ``fallback_inline=False``, fails fast with
+        :class:`~repro.errors.CircuitOpenError`.
+        """
+        breaker = CircuitBreaker(self.spawn_failure_limit, name="pool")
+        last_error: WorkerSpawnError | None = None
+        while not breaker.open:
+            remaining = self._unresolved(items, result)
+            if not remaining:
+                return
+            try:
+                self._run_pooled_attempt(remaining, result, on_result)
+                return
+            except WorkerSpawnError as error:
+                last_error = error
+                breaker.record_failure()
+        remaining = self._unresolved(items, result)
+        if not self.fallback_inline:
+            raise CircuitOpenError(
+                f"worker pool circuit breaker open after "
+                f"{breaker.failures} consecutive spawn failures "
+                f"(last: {last_error}); inline fallback disabled"
+            )
+        self.bus.publish(ServiceDegraded(
+            component="pool",
+            mode="inline",
+            reason=(
+                f"{breaker.failures} consecutive worker-spawn "
+                f"failures (last: {last_error}); running "
+                f"{len(remaining)} remaining job(s) inline"
+            ),
+        ))
+        self._run_inline(remaining, result, on_result)
+
+    def _unresolved(
+        self,
+        items: list[tuple[int, Job, str]],
+        result: BatchResult,
+    ) -> list[tuple[int, Job, str]]:
+        """Items with no terminal outcome yet (payload or failure)."""
+        failed = {failure.index for failure in result.failures}
+        return [
+            (index, job, digest)
+            for index, job, digest in items
+            if result.payloads[index] is None and index not in failed
+        ]
+
+    def _run_pooled_attempt(
+        self,
+        items: list[tuple[int, Job, str]],
+        result: BatchResult,
+        on_result: ResultCallback | None,
+    ) -> None:
+        jobs_by_index = {index: job for index, job, _ in items}
+        digests = {index: digest for index, _, digest in items}
         resolved: set[int] = set()  # indices with a terminal outcome
         #: (ready_at_monotonic, index, attempt) awaiting dispatch.
         # Cache hits are resolved before the pool exists, so a fully
         # warm batch never pays worker-spawn cost at all.
         pending: list[tuple[float, int, int]] = []
-        for index, (job, digest) in enumerate(zip(effective, digests)):
+        for index, job, digest in items:
             if self._try_cache(index, job, digest, result, on_result):
                 resolved.add(index)
             else:
@@ -344,7 +577,7 @@ class ExecutionService:
                     ready_at, index, attempt = pending[0]
                     if ready_at > now:
                         break
-                    job, digest = effective[index], digests[index]
+                    job, digest = jobs_by_index[index], digests[index]
                     if attempt == 1 and self._try_cache(
                         index, job, digest, result, on_result
                     ):
@@ -386,7 +619,7 @@ class ExecutionService:
                     index, attempt, start_perf = info
                     if index in resolved:
                         continue
-                    job, digest = effective[index], digests[index]
+                    job, digest = jobs_by_index[index], digests[index]
                     if event.kind == "ok":
                         resolved.add(index)
                         self._finish(
@@ -413,11 +646,12 @@ class ExecutionService:
                             f"worker died mid-job (exit code "
                             f"{event.body.get('exitcode')!r})"
                         )
-                    if self._fail_attempt(
+                    delay = self._fail_attempt(
                         index, job, digest, error, attempt, result
-                    ):
+                    )
+                    if delay is not None:
                         pending.append((
-                            time.monotonic() + self._backoff(attempt),
+                            time.monotonic() + delay,
                             index,
                             attempt + 1,
                         ))
@@ -429,8 +663,9 @@ def run_jobs(
     jobs: Sequence[Job],
     workers: int = 1,
     on_result: ResultCallback | None = None,
+    journal: BatchJournal | str | None = None,
     **service_kwargs,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`ExecutionService`."""
     service = ExecutionService(workers=workers, **service_kwargs)
-    return service.run(jobs, on_result=on_result)
+    return service.run(jobs, on_result=on_result, journal=journal)

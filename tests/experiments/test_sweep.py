@@ -132,7 +132,14 @@ class TestRobustness:
         )
         assert result.complete
         assert calls["n"] == 3
-        assert sleeps == [0.5, 1.0]  # exponential backoff
+        # Jittered exponential backoff: each delay is uniform in
+        # [raw/2, raw] with raw = backoff_s * 2**(k-1), deterministic
+        # under the fixed default seed.
+        from repro.service.health import BackoffPolicy
+
+        reference = BackoffPolicy(base_s=0.5, seed=0)
+        assert sleeps == [reference.delay(1), reference.delay(2)]
+        assert 0.25 <= sleeps[0] <= 0.5 and 0.5 <= sleeps[1] <= 1.0
 
     def test_retries_exhausted(self, monkeypatch):
         from repro.errors import SimulationTimeoutError

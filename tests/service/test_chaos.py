@@ -1,0 +1,357 @@
+"""Chaos matrix for the execution service.
+
+The robustness contract under test: whatever faults are injected,
+every batch either completes with correct results (bit-identical
+payloads and fingerprints) or fails with a documented exit code —
+never hangs, never silently drops a point.
+
+Fault kinds (see :mod:`repro.service.chaos` and ``docs/chaos.md``):
+worker-plane ``crash`` / ``hang`` / ``error`` via the ``REPRO_CHAOS``
+environment plan, cache-plane read faults, write faults, disk-full
+(ENOSPC) and corrupt entries via :class:`ChaosCache`. Each kind runs
+in both inline (``workers=1``) and pooled execution; the pooled cells
+spawn real processes and are marked ``slow``.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.core.events import EventBus
+from repro.errors import (
+    EXIT_CODES,
+    CircuitOpenError,
+    WorkerSpawnError,
+    exit_code_for,
+)
+from repro.experiments.config import ExperimentScale
+from repro.service import (
+    BatchJournal,
+    CacheFault,
+    ExecutionService,
+    Job,
+    ResultCache,
+    ServiceDegraded,
+    WorkerPool,
+)
+from repro.service.chaos import CHAOS_ENV, ChaosCache, chaos_plan, pick_targets
+
+TINY = ExperimentScale("tiny", synthetic_accesses=800)
+
+#: Worker counts for each matrix cell; the pooled cell spawns real
+#: processes, so it rides the `slow` marker.
+MODES = [
+    pytest.param(1, id="inline"),
+    pytest.param(2, id="pooled", marks=pytest.mark.slow),
+]
+
+
+def probe_jobs(count=3):
+    return [
+        Job("probe", {"value": i}, label=f"p{i}") for i in range(count)
+    ]
+
+
+def synthetic_jobs():
+    return [
+        Job(
+            "synthetic",
+            {"pattern": pattern, "cores": 1},
+            scale=TINY,
+            label=pattern,
+        )
+        for pattern in ("sequential", "random", "strided")
+    ]
+
+
+def assert_contract(result, jobs):
+    """No point silently dropped: every index resolved exactly one way,
+    and every terminal failure maps to a documented exit code."""
+    assert len(result.payloads) == len(jobs)
+    failed = {failure.index for failure in result.failures}
+    for index, payload in enumerate(result.payloads):
+        assert (payload is None) == (index in failed)
+    for failure in result.failures:
+        assert exit_code_for(failure.error) in EXIT_CODES.values()
+
+
+class TestWorkerPlaneMatrix:
+    """crash / hang / error × inline / pooled, transient (retried)."""
+
+    @pytest.mark.parametrize("workers", MODES)
+    @pytest.mark.parametrize("kind", ["crash", "hang", "error"])
+    def test_transient_fault_batch_still_completes(
+        self, kind, workers, tmp_path, monkeypatch
+    ):
+        jobs = probe_jobs()
+        victim = pick_targets([job.label for job in jobs], 1, seed=3)[0]
+        if kind == "hang" and workers > 1:
+            # Past the hard-kill deadline: the worker dies mid-wait.
+            hang_s, timeout_s = 30.0, 0.3
+        else:
+            # Inline has no hard kill by design; the injected hang
+            # finishes quickly and fails cooperatively.
+            hang_s, timeout_s = 0.05, None
+        if timeout_s is not None:
+            jobs = [
+                Job(job.kind, dict(job.config), label=job.label,
+                    timeout_s=timeout_s)
+                for job in jobs
+            ]
+        monkeypatch.setenv(CHAOS_ENV, chaos_plan(
+            tmp_path / "chaos-state",
+            [{"match": victim, "kind": kind, "times": 1,
+              "hang_s": hang_s}],
+        ))
+        service = ExecutionService(
+            workers=workers, retries=2, backoff_s=0.001
+        )
+        start = time.monotonic()
+        result = service.run(jobs)
+        assert time.monotonic() - start < 60.0  # never hangs
+        assert_contract(result, jobs)
+        assert result.complete  # one injected fault, two retries
+        assert [p["value"] for p in result.payloads] == [0, 1, 2]
+
+    @pytest.mark.parametrize("workers", MODES)
+    def test_persistent_fault_fails_with_documented_code(
+        self, workers, tmp_path, monkeypatch
+    ):
+        jobs = probe_jobs()
+        victim = jobs[1].label
+        monkeypatch.setenv(CHAOS_ENV, chaos_plan(
+            tmp_path / "chaos-state",
+            [{"match": victim, "kind": "error", "times": 99}],
+        ))
+        service = ExecutionService(
+            workers=workers, retries=1, backoff_s=0.001
+        )
+        result = service.run(jobs)
+        assert_contract(result, jobs)
+        assert [f.index for f in result.failures] == [1]
+        from repro.errors import SimulationTimeoutError
+
+        assert exit_code_for(result.failures[0].error) == (
+            EXIT_CODES[SimulationTimeoutError]
+        )
+        # The healthy points still completed.
+        assert result.payloads[0]["value"] == 0
+        assert result.payloads[2]["value"] == 2
+
+
+class TestCachePlaneMatrix:
+    """Cache IO faults × inline / pooled: the batch completes with
+    bit-identical payloads, and every absorbed fault is counted and
+    published."""
+
+    def _reference(self, tmp_path):
+        """Prime a healthy cache and return the reference payloads."""
+        cache = ResultCache(tmp_path / "cache")
+        result = ExecutionService(cache=cache).run(synthetic_jobs())
+        assert result.complete
+        return result.payloads
+
+    @pytest.mark.parametrize("workers", MODES)
+    def test_read_faults_recompute_identically(self, workers, tmp_path):
+        reference = self._reference(tmp_path)
+        faults = []
+        bus = EventBus()
+        bus.subscribe(CacheFault, faults.append)
+        cache = ChaosCache(
+            tmp_path / "cache", read_faults=2, read_error_limit=99
+        )
+        service = ExecutionService(workers=workers, cache=cache, bus=bus)
+        result = service.run(synthetic_jobs())
+        assert result.complete
+        assert result.payloads == reference  # recomputed bit-identically
+        assert cache.stats.read_errors == 2
+        assert [f.kind for f in faults] == ["read-error", "read-error"]
+        assert cache.mode == "ok"  # below the limit: no degradation
+
+    @pytest.mark.parametrize("workers", MODES)
+    def test_corrupt_entries_self_heal(self, workers, tmp_path):
+        reference = self._reference(tmp_path)
+        faults = []
+        bus = EventBus()
+        bus.subscribe(CacheFault, faults.append)
+        cache = ChaosCache(tmp_path / "cache", corrupt_faults=1)
+        service = ExecutionService(workers=workers, cache=cache, bus=bus)
+        result = service.run(synthetic_jobs())
+        assert result.complete
+        assert result.payloads == reference
+        assert cache.stats.invalid == 1
+        assert [f.kind for f in faults] == ["invalid-entry"]
+
+    @pytest.mark.parametrize("workers", MODES)
+    def test_write_faults_are_absorbed_and_counted(
+        self, workers, tmp_path
+    ):
+        faults = []
+        bus = EventBus()
+        bus.subscribe(CacheFault, faults.append)
+        cache = ChaosCache(
+            tmp_path / "cache", write_faults=2, write_error_limit=99
+        )
+        service = ExecutionService(workers=workers, cache=cache, bus=bus)
+        result = service.run(synthetic_jobs())
+        assert result.complete
+        assert cache.stats.write_errors == 2
+        assert cache.stats.writes == 1  # the third write landed
+        assert [f.kind for f in faults] == ["write-error", "write-error"]
+
+    @pytest.mark.parametrize("workers", MODES)
+    def test_disk_full_trips_read_only_and_batch_completes(
+        self, workers, tmp_path
+    ):
+        cache = ChaosCache(
+            tmp_path / "cache",
+            write_faults=99,
+            write_errno=errno.ENOSPC,
+            write_error_limit=2,
+        )
+        service = ExecutionService(workers=workers, cache=cache)
+        result = service.run(synthetic_jobs())
+        assert result.complete  # degraded, not failed
+        assert cache.mode == "read-only"
+        assert result.degraded
+        assert [(d.component, d.mode) for d in result.degradations] == [
+            ("cache", "read-only")
+        ]
+        assert cache.stats.writes == 0
+
+    def test_read_faults_past_limit_trip_bypass(self, tmp_path):
+        self._reference(tmp_path)
+        cache = ChaosCache(
+            tmp_path / "cache", read_faults=99, read_error_limit=2
+        )
+        service = ExecutionService(cache=cache)
+        result = service.run(synthetic_jobs())
+        assert result.complete
+        assert cache.mode == "bypass"
+        assert ("cache", "bypass") in [
+            (d.component, d.mode) for d in result.degradations
+        ]
+        # Bypass really bypasses: only the pre-trip lookups raised.
+        assert cache.stats.read_errors == 2
+
+
+class TestSpawnCircuitBreaker:
+    def test_spawn_failures_fall_back_inline(self, monkeypatch):
+        def refuse(self):
+            raise WorkerSpawnError("chaos: spawn refused")
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", refuse)
+        jobs = probe_jobs()
+        service = ExecutionService(workers=2, spawn_failure_limit=2)
+        result = service.run(jobs)
+        assert_contract(result, jobs)
+        assert result.complete  # inline fallback ran every job
+        assert [p["value"] for p in result.payloads] == [0, 1, 2]
+        assert [(d.component, d.mode) for d in result.degradations] == [
+            ("pool", "inline")
+        ]
+
+    def test_no_degrade_raises_circuit_open(self, monkeypatch):
+        def refuse(self):
+            raise WorkerSpawnError("chaos: spawn refused")
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", refuse)
+        service = ExecutionService(
+            workers=2, spawn_failure_limit=2, fallback_inline=False
+        )
+        with pytest.raises(CircuitOpenError) as excinfo:
+            service.run(probe_jobs())
+        assert exit_code_for(excinfo.value) == 13
+
+    def test_cache_hits_resolve_before_any_spawn(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = synthetic_jobs()
+        assert ExecutionService(cache=cache).run(jobs).complete
+
+        def refuse(self):
+            raise WorkerSpawnError("chaos: spawn refused")
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", refuse)
+        service = ExecutionService(workers=2, cache=cache)
+        result = service.run(jobs)
+        assert result.complete
+        assert result.cache_hits == len(jobs)
+        # Fully warm batch: the breaker never even engaged.
+        assert result.degradations == []
+
+
+@pytest.mark.slow
+class TestKillResume:
+    def test_killed_mid_batch_resumes_with_identical_fingerprints(
+        self, tmp_path
+    ):
+        """The acceptance scenario: a batch killed mid-run resumes from
+        its journal, recomputing only the unfinished jobs, and the
+        final fingerprints equal an uninterrupted run's."""
+        journal_path = tmp_path / "batch.jsonl"
+        package_root = os.path.dirname(os.path.dirname(repro.__file__))
+        # The child runs the same 3-job batch and dies hard (os._exit,
+        # no cleanup, no journal close) right after the 2nd result.
+        child = f"""
+import os, sys
+from repro.experiments.config import ExperimentScale
+from repro.service import ExecutionService, Job
+
+TINY = ExperimentScale("tiny", synthetic_accesses=800)
+jobs = [
+    Job("synthetic", {{"pattern": p, "cores": 1}}, scale=TINY, label=p)
+    for p in ("sequential", "random", "strided")
+]
+done = []
+
+def on_result(index, job, payload, cached):
+    done.append(index)
+    if len(done) == 2:
+        os._exit(9)
+
+ExecutionService().run(jobs, journal={str(journal_path)!r},
+                       on_result=on_result)
+"""
+        env = dict(os.environ, PYTHONPATH=package_root)
+        proc = subprocess.run(
+            [sys.executable, "-c", child],
+            env=env,
+            timeout=300,
+            capture_output=True,
+        )
+        assert proc.returncode == 9, proc.stderr.decode()
+        journal = BatchJournal(journal_path, resume=True)
+        assert len(journal) == 2  # both finished jobs survived the kill
+        resumed = ExecutionService().run(synthetic_jobs(), journal=journal)
+        assert resumed.complete
+        assert resumed.journal_hits == 2 and resumed.executed == 1
+        reference = ExecutionService().run(synthetic_jobs())
+        assert [
+            p["fingerprint"]["digest"] for p in resumed.payloads
+        ] == [
+            p["fingerprint"]["digest"] for p in reference.payloads
+        ]
+
+
+class TestJournalChaos:
+    def test_torn_tail_then_resume_recovers(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        jobs = probe_jobs()
+        ExecutionService().run(jobs[:2], journal=str(path))
+        # Tear the final record in half (crash mid-append).
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])
+        result = ExecutionService().run(jobs, journal=str(path))
+        assert result.complete
+        assert result.journal_hits == 1  # torn record recomputed
+        assert json.loads(path.read_text().splitlines()[-1])["kind"] in (
+            "done",
+        )

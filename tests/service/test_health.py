@@ -1,0 +1,109 @@
+"""Tests for the graceful-degradation primitives (health.py)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.health import (
+    DEFAULT_BACKOFF_CAP_S,
+    BackoffPolicy,
+    CircuitBreaker,
+)
+
+
+class TestBackoffPolicy:
+    def test_equal_jitter_stays_in_envelope(self):
+        policy = BackoffPolicy(base_s=1.0, seed=42)
+        for attempt in range(1, 6):
+            raw = min(DEFAULT_BACKOFF_CAP_S, 2 ** (attempt - 1))
+            delay = policy.delay(attempt)
+            assert raw / 2 <= delay <= raw
+
+    def test_deterministic_under_seed(self):
+        a = BackoffPolicy(base_s=0.5, seed=7)
+        b = BackoffPolicy(base_s=0.5, seed=7)
+        assert [a.delay(k) for k in (1, 2, 3)] == [
+            b.delay(k) for k in (1, 2, 3)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = BackoffPolicy(base_s=1.0, seed=1)
+        b = BackoffPolicy(base_s=1.0, seed=2)
+        assert [a.delay(k) for k in (1, 2, 3)] != [
+            b.delay(k) for k in (1, 2, 3)
+        ]
+
+    def test_cap_bounds_every_attempt(self):
+        policy = BackoffPolicy(base_s=10.0, cap_s=2.0, seed=0)
+        # By attempt 5 the raw exponential is 160s; the cap wins.
+        assert all(policy.delay(k) <= 2.0 for k in range(1, 6))
+
+    def test_budget_exhaustion_returns_none_and_sets_flag(self):
+        policy = BackoffPolicy(base_s=1.0, budget_s=1.5, seed=0)
+        spent = []
+        while True:
+            delay = policy.delay(len(spent) + 1)
+            if delay is None:
+                break
+            spent.append(delay)
+        assert policy.exhausted
+        assert sum(spent) == pytest.approx(policy.spent_s)
+        assert policy.spent_s <= 1.5 + 1e-9
+        # Once exhausted, it stays exhausted.
+        assert policy.delay(99) is None
+
+    def test_final_delay_clipped_to_remaining_budget(self):
+        policy = BackoffPolicy(base_s=10.0, budget_s=0.25, seed=0)
+        assert policy.delay(1) == pytest.approx(0.25)
+        assert policy.delay(2) is None
+
+    def test_zero_budget_never_sleeps(self):
+        policy = BackoffPolicy(base_s=1.0, budget_s=0.0, seed=0)
+        assert policy.delay(1) is None
+        assert policy.exhausted
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_s": -1.0},
+            {"cap_s": 0.0},
+            {"cap_s": -2.0},
+            {"budget_s": -0.5},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy(**kwargs)
+
+    def test_rejects_bad_attempt(self):
+        with pytest.raises(ConfigurationError):
+            BackoffPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_exactly_once(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # the opening failure
+        assert breaker.open
+        assert breaker.record_failure() is False  # already open
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.failures == 0
+        breaker.record_failure()
+        assert not breaker.open
+        breaker.record_failure()
+        assert breaker.open
+
+    def test_stays_open_after_success(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.open  # a batch never un-degrades
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)

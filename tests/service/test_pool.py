@@ -79,6 +79,75 @@ class TestCrashIsolation:
         assert result.payloads[1] == {"value": 1, "attempt": 1}
 
 
+class TestHardKillCleanup:
+    def test_hard_kill_leaves_no_orphans_or_stray_files(self, tmp_path):
+        """After a batch whose workers were hard-killed (timeout) and
+        crashed (os._exit), shutdown leaves no live child processes and
+        the cache directory holds only committed entries — no temp
+        shards from interrupted writes."""
+        import multiprocessing
+
+        from repro.service import ResultCache
+
+        cache_root = tmp_path / "cache"
+        jobs = [
+            Job("probe", {"sleep_s": 60.0}, timeout_s=0.3, label="hang"),
+            Job(
+                "probe",
+                {"crash_times": 99, "marker_dir": str(tmp_path / "m")},
+                label="crash",
+            ),
+            Job("probe", {"value": 1}, label="ok"),
+        ]
+        service = ExecutionService(
+            workers=2, cache=ResultCache(cache_root)
+        )
+        result = service.run(jobs)
+        assert len(result.failures) == 2
+        assert result.payloads[2] == {"value": 1, "attempt": 1}
+        # No orphaned worker processes survive the pool shutdown.
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, (
+                f"orphans: {multiprocessing.active_children()}"
+            )
+            time.sleep(0.1)
+        # No stray temp files anywhere under the cache root (probe
+        # results are uncacheable, so the cache holds nothing at all).
+        strays = (
+            [p for p in cache_root.rglob("*") if p.is_file()]
+            if cache_root.exists() else []
+        )
+        assert strays == []
+
+    def test_failed_pool_start_cleans_up_partial_spawn(
+        self, monkeypatch
+    ):
+        """A pool whose Nth worker fails to spawn kills the N-1 it
+        already started instead of leaking them."""
+        import multiprocessing
+
+        from repro.errors import WorkerSpawnError
+
+        original = WorkerPool._spawn_worker
+        calls = []
+
+        def flaky(self):
+            calls.append(1)
+            if len(calls) >= 2:
+                raise WorkerSpawnError("injected spawn failure")
+            return original(self)
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", flaky)
+        pool = WorkerPool(2)
+        with pytest.raises(WorkerSpawnError):
+            pool.start()
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline
+            time.sleep(0.1)
+
+
 class TestHardTimeout:
     def test_runaway_job_is_killed(self):
         # The probe ignores cooperative guards entirely, so only the

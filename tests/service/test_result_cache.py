@@ -1,16 +1,33 @@
 """Tests for the content-addressed result cache."""
 
+import errno
 import json
 
 import pytest
 
+from repro.core.events import EventBus
 from repro.errors import ConfigurationError
 from repro.service.cache import ResultCache
+from repro.service.events import CacheFault, ServiceDegraded
 from repro.service.job import Job
 
 
 def make_job(cores=1):
     return Job("synthetic", {"pattern": "sequential", "cores": cores})
+
+
+def failing_writes(cache, code=errno.ENOSPC, times=10**9):
+    """Make the next `times` entry writes fail with `code`."""
+    remaining = [times]
+    original = cache._write_entry
+
+    def write(path, digest, body):
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            raise OSError(code, "injected write failure", str(path))
+        original(path, digest, body)
+
+    cache._write_entry = write
 
 
 class TestHitMiss:
@@ -86,6 +103,97 @@ class TestRobustness:
             and p.suffix != ".json"
         ]
         assert leftovers == []
+
+
+class TestErrorPolicy:
+    """get/put never raise: faults are counted, published, absorbed.
+
+    Tests run as root, so chmod-style read-only directories do not
+    actually fail — faults are injected at the IO seam instead (the
+    same seam the chaos harness uses).
+    """
+
+    def test_disk_full_put_returns_none_and_counts(self, tmp_path):
+        bus = EventBus()
+        faults = []
+        bus.subscribe(CacheFault, faults.append)
+        cache = ResultCache(tmp_path, bus=bus)
+        failing_writes(cache, code=errno.ENOSPC, times=1)
+        job = make_job()
+        assert cache.put(job, {"value": 1}) is None  # absorbed
+        assert cache.stats.write_errors == 1
+        assert cache.stats.writes == 0
+        assert [f.kind for f in faults] == ["write-error"]
+        assert "ENOSPC" in faults[0].detail or "28" in faults[0].detail
+        # The fault was transient: the next put lands and resets the
+        # consecutive counter.
+        assert cache.put(job, {"value": 1}) is not None
+        assert cache.stats.writes == 1
+        assert cache.mode == "ok"
+
+    def test_persistent_write_errors_trip_read_only(self, tmp_path):
+        bus = EventBus()
+        degradations = []
+        bus.subscribe(ServiceDegraded, degradations.append)
+        cache = ResultCache(tmp_path, bus=bus, write_error_limit=2)
+        job_a, job_b = make_job(cores=1), make_job(cores=2)
+        cache.put(job_a, {"value": 1})  # healthy write first
+        failing_writes(cache, code=errno.EROFS)
+        assert cache.put(job_b, {}) is None
+        assert cache.mode == "ok"  # one failure: below the limit
+        assert cache.put(job_b, {}) is None
+        assert cache.mode == "read-only"
+        assert [(d.component, d.mode) for d in degradations] == [
+            ("cache", "read-only")
+        ]
+        # Read-only keeps serving hits but never writes again (no
+        # third write error: put is now a pure no-op).
+        assert cache.get(job_a.digest()) == {"value": 1}
+        assert cache.put(job_b, {}) is None
+        assert cache.stats.write_errors == 2
+
+    def test_read_errors_count_and_trip_bypass(self, tmp_path):
+        bus = EventBus()
+        degradations = []
+        bus.subscribe(ServiceDegraded, degradations.append)
+        cache = ResultCache(tmp_path, bus=bus, read_error_limit=2)
+        job = make_job()
+        cache.put(job, {"value": 7})
+
+        def read(path, digest):
+            raise OSError(errno.EIO, "injected read failure", str(path))
+
+        cache._read_entry = read
+        assert cache.get(job.digest()) is None
+        assert cache.get(job.digest()) is None
+        assert cache.mode == "bypass"
+        assert cache.stats.read_errors == 2
+        assert [(d.component, d.mode) for d in degradations] == [
+            ("cache", "bypass")
+        ]
+        # Bypass mode stops touching the disk entirely: the injected
+        # reader would raise again, but it is never called.
+        assert cache.get(job.digest()) is None
+        assert cache.stats.read_errors == 2
+
+    def test_self_heal_publishes_cache_fault(self, tmp_path):
+        bus = EventBus()
+        faults = []
+        bus.subscribe(CacheFault, faults.append)
+        cache = ResultCache(tmp_path, bus=bus)
+        job = make_job()
+        cache.put(job, {"value": 1})
+        cache.path_for(job.digest()).write_text("{broken")
+        assert cache.get(job.digest()) is None
+        assert cache.stats.invalid == 1
+        assert [f.kind for f in faults] == ["invalid-entry"]
+        assert faults[0].digest == job.digest()
+
+    def test_rejects_bad_error_limits(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, write_error_limit=0)
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, read_error_limit=0)
 
 
 class TestEviction:

@@ -15,6 +15,7 @@ from repro.errors import (
 )
 from repro.experiments.config import ExperimentScale
 from repro.service import (
+    BackoffPolicy,
     ExecutionService,
     Job,
     JobFailed,
@@ -111,7 +112,10 @@ class TestEvents:
         result = service.run([job])
         assert not result.complete
         assert [f.final for f in failures] == [False, True]
-        assert sleeps == [0.5]  # one backoff before the retry
+        # One jittered backoff before the retry: same seed, same delay.
+        expected = BackoffPolicy(base_s=0.5, seed=0).delay(1)
+        assert sleeps == [expected]
+        assert 0.25 <= sleeps[0] <= 0.5  # equal jitter: [base/2, base]
 
 
 class TestRetries:
@@ -126,7 +130,11 @@ class TestRetries:
         result = service.run([job])
         assert result.complete
         assert result.payloads[0]["value"] == 9
-        assert sleeps == [0.01, 0.02]  # exponential backoff
+        # Jittered exponential backoff, deterministic under the seed.
+        reference = BackoffPolicy(base_s=0.01, seed=0)
+        assert sleeps == [reference.delay(1), reference.delay(2)]
+        assert 0.005 <= sleeps[0] <= 0.01
+        assert 0.01 <= sleeps[1] <= 0.02
 
     def test_exhausted_retries_recorded_with_error(self, tmp_path):
         service = ExecutionService(retries=1, backoff_s=0.01)

@@ -128,6 +128,46 @@ class TestBatch:
         assert main(["batch", "--patterns", ""]) == 3
         assert "ConfigurationError" in capsys.readouterr().err
 
+    def test_journal_then_resume_replays_finished_points(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        journal = tmp_path / "batch.jsonl"
+        argv = [
+            "batch", "--patterns", "sequential", "--scale", "ci",
+            "--journal", str(journal), "--quiet",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "journal" in cold and "1/1 done" in cold
+        kinds = [
+            json.loads(line)["kind"]
+            for line in journal.read_text().splitlines()
+        ]
+        assert kinds == ["open", "done"]
+        # Resume: the finished point replays instead of recomputing.
+        assert main(argv + ["--resume"]) == 0
+        warm = capsys.readouterr().out
+        assert "(resume)" in warm
+        assert "1 cached" in warm
+
+    def test_spawn_failure_degrades_to_inline(self, monkeypatch, capsys):
+        from repro.errors import WorkerSpawnError
+        from repro.service.pool import WorkerPool
+
+        def refuse(self):
+            raise WorkerSpawnError("injected spawn failure")
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", refuse)
+        assert main([
+            "batch", "--patterns", "sequential", "--jobs", "2",
+            "--quiet",
+        ]) == 0  # degraded, not failed
+        captured = capsys.readouterr()
+        assert "DEGRADED [pool -> inline]" in captured.err
+        assert "degraded: pool->inline" in captured.out
+
     def test_quiet_suppresses_per_point_lines(self, tmp_path, capsys):
         assert main([
             "batch", "--patterns", "sequential", "--scale", "ci",
@@ -208,6 +248,38 @@ class TestExitCodes:
         code = main(["resume", str(empty)])
         assert code == 11
         assert "CheckpointError" in capsys.readouterr().err
+
+    def test_circuit_open_exit_code_with_no_degrade(
+        self, monkeypatch, capsys
+    ):
+        from repro.errors import WorkerSpawnError
+        from repro.service.pool import WorkerPool
+
+        def refuse(self):
+            raise WorkerSpawnError("injected spawn failure")
+
+        monkeypatch.setattr(WorkerPool, "_spawn_worker", refuse)
+        code = main([
+            "batch", "--patterns", "sequential", "--jobs", "2",
+            "--no-degrade", "--quiet",
+        ])
+        assert code == 13
+        assert "CircuitOpenError" in capsys.readouterr().err
+
+    def test_corrupt_journal_exit_code(self, tmp_path, capsys):
+        journal = tmp_path / "batch.jsonl"
+        journal.write_text('{"kind": "done", "digest": "d"}\n')  # no header
+        code = main([
+            "batch", "--patterns", "sequential",
+            "--journal", str(journal), "--resume", "--quiet",
+        ])
+        assert code == 14
+        assert "JournalCorruptError" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        code = main(["batch", "--patterns", "sequential", "--resume"])
+        assert code == 3
+        assert "--journal" in capsys.readouterr().err
 
 
 def run_cli(args, cwd=None):
