@@ -17,6 +17,7 @@ SMOKE_TIMEOUT="${SMOKE_TIMEOUT:-120}"
 BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 SERVICE_TIMEOUT="${SERVICE_TIMEOUT:-180}"
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-120}"
+QOS_TIMEOUT="${QOS_TIMEOUT:-120}"
 
 MARKER_ARGS=()
 if [[ "${1:-}" == "fast" ]]; then
@@ -59,6 +60,14 @@ echo "== chaos smoke (timeout ${CHAOS_TIMEOUT}s) =="
 # are marked 'slow' and run with the tier-1 suite unless 'fast'.
 timeout --signal=KILL "$CHAOS_TIMEOUT" \
     python scripts/chaos_smoke.py
+
+echo "== QoS smoke (timeout ${QOS_TIMEOUT}s) =="
+# Tiny 2-requester WRR run: exact per-requester conservation, latency
+# fairness within tolerance, and a bit-identical rerun digest. The
+# full fairness/differential matrix is tests/dram/test_qos_properties.py
+# and tests/golden/test_qos_golden.py (engine-parity cells are 'slow').
+timeout --signal=KILL "$QOS_TIMEOUT" \
+    python scripts/qos_smoke.py
 
 echo "== wall-clock smoke benchmark (timeout ${BENCH_TIMEOUT}s) =="
 # Gates on BENCH_PR5.json: warns past a 10% slowdown, fails past 25%

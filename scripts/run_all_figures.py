@@ -34,7 +34,8 @@ import time
 import traceback
 from contextlib import redirect_stdout
 
-FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9")
+FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+           "figqos")
 
 
 def _write_text(output_dir: str, name: str, text: str) -> str:

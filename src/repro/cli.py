@@ -4,7 +4,8 @@ Subcommands:
 
 * ``analyze`` — run a synthetic pattern or GAP kernel and print the
   bandwidth/latency/cycle stacks with the bottleneck advisor's findings.
-* ``figure`` — regenerate one of the paper's figures (fig2..fig9).
+* ``figure`` — regenerate one of the paper's figures (fig2..fig9), or
+  the QoS extension figure (``figqos``, see docs/qos.md).
 * ``batch`` — run a configuration grid through the parallel execution
   service (worker pool + result cache) with live progress.
 * ``trace`` — build a bandwidth stack from a stored command trace.
@@ -34,7 +35,8 @@ from repro.trace.offline import offline_bandwidth_stack
 from repro.viz.ascii_art import render_stacks
 from repro.workloads.gap.suite import GAP_KERNELS
 
-_FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9")
+_FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "figqos")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +54,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "workload",
         choices=(
             "sequential", "random", "strided", "pointer-chase",
+            "streaming",
         ) + GAP_KERNELS,
         help="synthetic pattern or GAP kernel",
     )
@@ -62,10 +65,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=components.PAGE_POLICIES.names(),
                          default=None)
     analyze.add_argument("--scheduling",
-                         choices=components.SCHEDULERS.names(),
-                         default="fr-fcfs",
+                         default="fr-fcfs", metavar="POLICY",
                          help="memory scheduling policy (any registered "
-                         "scheduler component)")
+                         f"scheduler: {', '.join(components.SCHEDULERS.names())}; "
+                         "wrr and bank-reg take params, e.g. 'wrr:2,1' or "
+                         "'bank-reg:period=1000,budget=4')")
+    analyze.add_argument("--requesters", type=int, default=None,
+                         metavar="N",
+                         help="spread the cores over N requester QoS "
+                         "domains (core i -> domain i %% N; synthetic "
+                         "only, see docs/qos.md)")
     analyze.add_argument("--scheme", choices=("default", "interleaved"),
                          default="default", help="bank indexing scheme")
     analyze.add_argument("--scale", choices=("ci", "paper"), default="ci")
@@ -111,6 +120,17 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--schemes", default="default", metavar="LIST",
         help="comma-separated bank-indexing schemes (default default)",
+    )
+    batch.add_argument(
+        "--schedulings", default="fr-fcfs", metavar="LIST",
+        help="semicolon-separated scheduling policies, params allowed "
+        "(e.g. 'fr-fcfs;wrr:2,1;bank-reg:period=1000,budget=4' — "
+        "semicolons because wrr weights contain commas; "
+        "default fr-fcfs)",
+    )
+    batch.add_argument(
+        "--requesters", default="1", metavar="LIST",
+        help="comma-separated requester-domain counts (default 1)",
     )
     batch.add_argument("--scale", choices=("ci", "paper"), default="ci")
     batch.add_argument(
@@ -303,11 +323,25 @@ def _run_analyze(args: argparse.Namespace) -> int:
             address_scheme=args.scheme,
             scale=args.scale,
             guard=guard,
+            requesters=args.requesters,
         )
         title = (
             f"{args.workload} w{int(args.stores * 100)} on "
             f"{args.cores} core(s)"
         )
+    if args.requesters and args.requesters > 1:
+        from repro.viz.ascii_art import render_stack_table
+
+        rows = result.per_requester_bandwidth_stacks()
+        print(render_stack_table(
+            [rows[r] for r in sorted(rows)],
+            title="per-requester bandwidth stacks (GB/s)",
+        ))
+        lat_rows = result.per_requester_latency_stacks()
+        print(render_stack_table(
+            [lat_rows[r] for r in sorted(lat_rows)],
+            title="per-requester latency stacks (ns)",
+        ))
     bandwidth = result.bandwidth_stack("bandwidth")
     latency = result.latency_stack("latency")
     cycles = result.cycle_stack("cycles")
@@ -340,11 +374,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.service.events import JobFailed, JobFinished, ServiceDegraded
     from repro.viz.live import BatchProgressMeter
 
-    def _split(raw: str, convert=str) -> tuple:
+    def _split(raw: str, convert=str, sep: str = ",") -> tuple:
         try:
             return tuple(
                 convert(part.strip())
-                for part in raw.split(",") if part.strip()
+                for part in raw.split(sep) if part.strip()
             )
         except ValueError as error:
             raise ConfigurationError(
@@ -357,6 +391,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         store_fractions=_split(args.stores, float),
         page_policies=_split(args.page_policies),
         address_schemes=_split(args.schemes),
+        # Scheduling specs carry commas in their params ("wrr:2,1"),
+        # so this axis splits on semicolons.
+        schedulings=_split(args.schedulings, sep=";"),
+        requesters=_split(args.requesters, int),
     )
     if not points:
         raise ConfigurationError("the requested grid is empty")

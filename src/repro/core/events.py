@@ -32,6 +32,7 @@ __all__ = [
     "CommandIssued",
     "RequestAdmitted",
     "RequestCompleted",
+    "RequesterStalled",
     "RefreshStarted",
     "SchedulerHeartbeat",
 ]
@@ -43,8 +44,9 @@ class CommandIssued:
 
     ``command`` is the :class:`~repro.dram.commands.CommandType` name
     (``"ACTIVATE"``, ``"PRECHARGE"``, ``"READ"``, ``"WRITE"``, ...);
-    ``flat_bank`` is -1 for all-bank commands and ``req_id`` is -1 for
-    commands not tied to a request (policy precharges, refresh).
+    ``flat_bank`` is -1 for all-bank commands and ``req_id`` /
+    ``requester_id`` are -1 for commands not tied to a request (policy
+    precharges, refresh).
     """
 
     cycle: int
@@ -54,6 +56,7 @@ class CommandIssued:
     rank: int
     row: int
     req_id: int
+    requester_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -67,6 +70,7 @@ class RequestAdmitted:
     is_write: bool
     flat_bank: int
     forwarded: bool
+    requester_id: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +81,27 @@ class RequestCompleted:
     req_id: int
     is_read: bool
     finish: int
+    requester_id: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RequesterStalled:
+    """The scheduler's best candidate had to wait behind a resource last
+    touched by a *different* requester (cross-requester interference).
+
+    Published when the controller records a blocked window classified as
+    interference: ``requester_id`` is the victim whose candidate waits,
+    ``blocker_id`` the requester whose earlier command created the
+    binding constraint, and ``[cycle, until)`` the waiting window.
+    ``reason`` matches the blocked-window reason string in the event
+    log (e.g. ``"tRCD"``, ``"bus_busy"``).
+    """
+
+    cycle: int
+    until: int
+    requester_id: int
+    blocker_id: int
+    reason: str
 
 
 @dataclass(frozen=True, slots=True)

@@ -33,6 +33,10 @@ from repro.stacks.bandwidth import BandwidthStackAccountant
 from repro.stacks.components import Stack, StackSeries
 from repro.stacks.cycle import CycleStackBuilder
 from repro.stacks.latency import LatencyStackAccountant
+from repro.stacks.requester import (
+    RequesterBandwidthAccountant,
+    RequesterLatencyAccountant,
+)
 
 
 @dataclass(frozen=True)
@@ -44,12 +48,27 @@ class SystemConfig:
     hierarchy: HierarchyConfig = field(default_factory=HierarchyConfig)
     memory: ControllerConfig = field(default_factory=ControllerConfig)
     quantum: float = 2000.0
+    #: Requester domain per core, for multi-requester QoS runs (see
+    #: docs/qos.md). ``None`` puts every core in domain 0, which keeps
+    #: single-requester runs bit-identical to the pre-QoS simulator.
+    requesters: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ConfigurationError("need at least one core")
         if self.quantum < 1:
             raise ConfigurationError("quantum must be >= 1 cycle")
+        if self.requesters is not None:
+            ids = tuple(self.requesters)
+            if len(ids) != self.cores:
+                raise ConfigurationError(
+                    f"{len(ids)} requester ids for {self.cores} cores"
+                )
+            if any(not isinstance(r, int) or r < 0 for r in ids):
+                raise ConfigurationError(
+                    f"requester ids must be non-negative ints, got {ids!r}"
+                )
+            object.__setattr__(self, "requesters", ids)
 
 
 class CpuSystem:
@@ -72,6 +91,12 @@ class CpuSystem:
         ]
         self._line_bytes = self.memory.spec.organization.line_bytes
         self._noc_request = self.config.core.noc_request_cycles
+        #: Requester domain of each core (all 0 unless configured).
+        self._requester_of = (
+            list(self.config.requesters)
+            if self.config.requesters is not None
+            else [0] * self.config.cores
+        )
         #: DRAM reads in flight, by line number. Demand accesses to these
         #: lines wait for the existing request instead of re-fetching.
         self._pending_lines: dict[int, Request] = {}
@@ -142,6 +167,7 @@ class CpuSystem:
             line * self._line_bytes,
             arrival=self._arrival(t),
             core_id=core.core_id,
+            requester_id=self._requester_of[core.core_id],
             is_prefetch=is_prefetch,
             meta=[(core, load)],
         )
@@ -165,6 +191,7 @@ class CpuSystem:
                 line * self._line_bytes,
                 arrival=self._arrival(t),
                 core_id=core.core_id,
+                requester_id=self._requester_of[core.core_id],
                 is_prefetch=True,
                 meta=[],
             )
@@ -185,6 +212,7 @@ class CpuSystem:
                 line * self._line_bytes,
                 arrival=self._arrival(t),
                 core_id=core.core_id,
+                requester_id=self._requester_of[core.core_id],
             ))
 
     def _arrival(self, t: float) -> int:
@@ -520,6 +548,35 @@ class SimulationResult:
         count toward the core that caused them)."""
         acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.per_core_achieved(self.memory.log, self.total_cycles)
+
+    def per_requester_bandwidth_stacks(
+        self, label: str = ""
+    ) -> dict[int, Stack]:
+        """Per-requester bandwidth stacks with interference (GB/s).
+
+        One row per requester domain plus a shared row (key -1) for
+        refresh/idle cycles nobody owns; the rows sum to the aggregate
+        stack exactly (see :mod:`repro.stacks.requester`). Multi-channel
+        memories are not split per requester yet.
+        """
+        acct = RequesterBandwidthAccountant(self.spec)
+        return acct.account(self.memory.log, self.total_cycles, label)
+
+    def per_requester_bandwidth_cycles(self) -> dict[int, dict[str, int]]:
+        """Raw per-requester integer cycle counters (conservation tests)."""
+        acct = RequesterBandwidthAccountant(self.spec)
+        return acct.account_cycles(self.memory.log, self.total_cycles)
+
+    def per_requester_latency_stacks(
+        self, label: str = ""
+    ) -> dict[int, Stack]:
+        """Per-requester latency stacks with interference (ns)."""
+        acct = RequesterLatencyAccountant(
+            self.spec, self.base_controller_cycles
+        )
+        return acct.account(
+            self.memory.completed_requests, self.memory.log, label
+        )
 
     def cycle_stack(self, label: str = "") -> Stack:
         """Merged CPI-style cycle stack over all cores."""

@@ -82,6 +82,11 @@ class Request:
         arrival: memory-clock cycle at which the request reached the
             controller queue.
         core_id: originating core, used for per-core statistics.
+        requester_id: QoS requester domain the request belongs to. Several
+            cores may share one requester (a CPU cluster), and a streaming
+            agent (GPU/DMA model) gets its own id. The default 0 puts every
+            request in a single domain, which reproduces the original
+            single-requester behaviour bit for bit.
         is_prefetch: prefetch-generated reads; they count as demand traffic
             for bandwidth purposes but are excluded from latency stacks.
         meta: free-form tag for callers (e.g. the CPU model stores its
@@ -92,6 +97,7 @@ class Request:
     address: int
     arrival: int
     core_id: int = 0
+    requester_id: int = 0
     is_prefetch: bool = False
     meta: object = None
     req_id: int = field(default_factory=_request_ids)

@@ -8,7 +8,8 @@ config string that selects it:
 registry            config field             built-ins
 ==================  =======================  ==========================
 SCHEDULERS          ``scheduling``           ``fr-fcfs`` (default),
-                                             ``fcfs``
+                                             ``fcfs``, ``wrr``,
+                                             ``bank-reg``
 PAGE_POLICIES       ``page_policy``          ``open`` (default),
                                              ``closed``
 WRITE_DRAIN         ``write_drain``          ``watermark`` (default),
@@ -18,6 +19,12 @@ REFRESH             ``refresh``              ``all-bank`` (default),
 ACCOUNTING          ``accounting``           ``event-log`` (default),
                                              ``null``
 ==================  =======================  ==========================
+
+Scheduler strings may carry parameters after a colon when the policy
+declares ``accepts_params`` — ``"wrr:2,1"`` (per-requester weights) and
+``"bank-reg:period=1000,budget=4"`` (per-bank regulation) are resolved
+by :func:`make_scheduler`; see :mod:`repro.dram.components.qos` and
+docs/qos.md.
 
 Registering a custom policy is one decorator::
 
@@ -40,13 +47,17 @@ from repro.dram.components.draining import (
     WatermarkDrainPolicy,
 )
 from repro.dram.components.paging import ClosedPagePolicy, OpenPagePolicy
+from repro.dram.components.qos import BankRegScheduler, WrrScheduler
 from repro.dram.components.refreshing import AllBankRefresh, NoRefresh
 from repro.dram.components.scheduling import FcfsScheduler, FrFcfsScheduler
+from repro.errors import ConfigurationError
 
 #: Scheduler policies, keyed by ``ControllerConfig.scheduling``.
 SCHEDULERS: ComponentRegistry = ComponentRegistry("scheduling policy")
 SCHEDULERS.register("fr-fcfs")(FrFcfsScheduler)
 SCHEDULERS.register("fcfs")(FcfsScheduler)
+SCHEDULERS.register("wrr")(WrrScheduler)
+SCHEDULERS.register("bank-reg")(BankRegScheduler)
 
 #: Page policies, keyed by ``ControllerConfig.page_policy``.
 PAGE_POLICIES: ComponentRegistry = ComponentRegistry("page policy")
@@ -68,9 +79,50 @@ ACCOUNTING: ComponentRegistry = ComponentRegistry("accounting tap")
 ACCOUNTING.register("event-log")(EventLogTap)
 ACCOUNTING.register("null")(NullTap)
 
+
+def scheduling_base_name(spec: str) -> str:
+    """The registry name of a scheduling spec (``"wrr:2,1"`` -> ``"wrr"``)."""
+    base, __, __ = str(spec).partition(":")
+    return base
+
+
+def make_scheduler(spec: str):
+    """Instantiate the scheduler a ``scheduling`` config string selects.
+
+    The string is ``name`` or ``name:params``; the name is resolved in
+    :data:`SCHEDULERS` and the parameter suffix (weights for ``wrr``,
+    period/budget for ``bank-reg``) is handed to the policy's
+    constructor. Policies that do not declare ``accepts_params`` reject
+    a suffix. Raises :class:`~repro.errors.ConfigurationError` for
+    unknown names or malformed parameters.
+    """
+    base, sep, params = str(spec).partition(":")
+    cls = SCHEDULERS.get(base)
+    if sep:
+        if not getattr(cls, "accepts_params", False):
+            raise ConfigurationError(
+                f"scheduling policy {base!r} takes no parameters "
+                f"(got {params!r} in {spec!r})"
+            )
+        return cls(params)
+    return cls()
+
+
+def validate_scheduling(spec: str) -> str:
+    """Validate a ``scheduling`` config string eagerly; returns it.
+
+    Instantiates the scheduler (constructors are cheap — all heavy
+    state is built in ``bind``) so malformed parameter suffixes fail at
+    config time, not mid-run.
+    """
+    make_scheduler(spec)
+    return spec
+
+
 __all__ = [
     "ACCOUNTING",
     "AllBankRefresh",
+    "BankRegScheduler",
     "BurstDrainPolicy",
     "ClosedPagePolicy",
     "EventLog",
@@ -85,4 +137,8 @@ __all__ = [
     "SCHEDULERS",
     "WRITE_DRAIN",
     "WatermarkDrainPolicy",
+    "WrrScheduler",
+    "make_scheduler",
+    "scheduling_base_name",
+    "validate_scheduling",
 ]

@@ -54,6 +54,34 @@ class EventLog:
     #: Optional full command trace.
     commands: list[Command] = field(default_factory=list)
 
+    # ------------------------------------------------------------------
+    # Requester-attribution sidecars (multi-requester QoS stacks).
+    #
+    # These lists annotate the core timelines above with the requester
+    # that caused each window. They are *sidecars*: kept out of the
+    # fingerprinted fields so single-requester runs stay bit-identical
+    # to historic fixtures, and index-aligned with their primaries where
+    # noted. Windows that bypass the issue path (refresh-driven
+    # precharges) have no sidecar entry; the per-requester accountant
+    # attributes them to the shared row (requester -1).
+    # ------------------------------------------------------------------
+    #: Requester of bursts[i] (index-aligned with ``bursts``).
+    burst_owners: list[int] = field(default_factory=list)
+    #: Requester of cas_windows[i] (index-aligned with ``cas_windows``).
+    cas_owners: list[int] = field(default_factory=list)
+    #: Request-triggered precharges: (start, end, flat_bank, requester).
+    pre_owner_windows: list[tuple[int, int, int, int]] = field(
+        default_factory=list
+    )
+    #: Request-triggered activates: (start, end, flat_bank, requester).
+    act_owner_windows: list[tuple[int, int, int, int]] = field(
+        default_factory=list
+    )
+    #: (victim_requester, is_interference) of blocked[i] — whether the
+    #: binding constraint was created by a *different* requester's
+    #: command (index-aligned with ``blocked``).
+    blocked_owners: list[tuple[int, bool]] = field(default_factory=list)
+
 
 class EventLogTap:
     """The default tap: materialize the full :class:`EventLog`."""
@@ -93,4 +121,9 @@ class NullTap:
             blocked=_DiscardList(),
             drain_windows=_DiscardList(),
             commands=_DiscardList(),
+            burst_owners=_DiscardList(),
+            cas_owners=_DiscardList(),
+            pre_owner_windows=_DiscardList(),
+            act_owner_windows=_DiscardList(),
+            blocked_owners=_DiscardList(),
         )

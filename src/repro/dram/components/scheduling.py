@@ -42,9 +42,17 @@ _PRE = CommandType.PRECHARGE
 
 
 class _SchedulerBase:
-    """Plan-cache state and per-entry planning shared by both policies."""
+    """Plan-cache state and per-entry planning shared by all policies."""
 
     name = "base"
+    #: Candidate-selection family understood by
+    #: :meth:`repro.dram.scheduler.RequestQueue.candidates`. Arbiters
+    #: layered on FR-FCFS selection (``wrr``, ``bank-reg``) keep
+    #: ``"fr-fcfs"`` here while registering under their own name.
+    candidate_policy = "fr-fcfs"
+    #: Whether the registry accepts a ``name:params`` suffix for this
+    #: scheduler (see :func:`repro.dram.components.make_scheduler`).
+    accepts_params = False
 
     def bind(self, controller) -> None:
         """Wire up to a controller; resets all scheduling state."""
@@ -198,7 +206,8 @@ class _SchedulerBase:
         open_rows = [b.open_row for b in self._banks]
         best: tuple | None = None
         for entry in queue.candidates(
-            open_rows, self.name, ctrl.now, ctrl.config.starvation_cap,
+            open_rows, self.candidate_policy, ctrl.now,
+            ctrl.config.starvation_cap,
         ):
             cand = ctrl._plan_entry(entry, write_mode)
             if best is None or cand[0] < best[0]:
@@ -221,6 +230,7 @@ class FcfsScheduler(_SchedulerBase):
     """Strict arrival order: only the globally oldest request competes."""
 
     name = "fcfs"
+    candidate_policy = "fcfs"
 
     def decide(self, now: int, write_mode: bool, queue) -> tuple | None:
         """Derive the decision and refresh the plan cache."""

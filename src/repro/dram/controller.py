@@ -34,6 +34,7 @@ from repro.core.events import (
     RefreshStarted,
     RequestAdmitted,
     RequestCompleted,
+    RequesterStalled,
     SchedulerHeartbeat,
 )
 from repro.dram import components
@@ -90,7 +91,11 @@ class ControllerConfig:
         page_policy: ``"open"`` keeps rows open until a conflict;
             ``"closed"`` precharges a bank as soon as no pending request
             targets its open row.
-        scheduling: ``"fr-fcfs"`` (paper) or ``"fcfs"``.
+        scheduling: ``"fr-fcfs"`` (paper), ``"fcfs"``, or one of the
+            QoS arbiters — ``"wrr"`` / ``"wrr:2,1"`` (weighted round
+            robin over requesters) and ``"bank-reg"`` /
+            ``"bank-reg:period=1000,budget=4"`` (per-bank bandwidth
+            regulation); see :mod:`repro.dram.components.qos`.
         write_queue: write-buffer sizing and watermarks.
         write_drain: ``"watermark"`` (paper: forced drains run from the
             high to the low watermark) or ``"burst"`` (forced drains run
@@ -137,7 +142,7 @@ class ControllerConfig:
         # Registry lookups raise ConfigurationError with the expected
         # names when a policy string is unknown.
         components.PAGE_POLICIES.get(self.page_policy)
-        components.SCHEDULERS.get(self.scheduling)
+        components.validate_scheduling(self.scheduling)
         components.WRITE_DRAIN.get(self.write_drain)
         components.REFRESH.get(self.resolved_refresh)
         components.ACCOUNTING.get(self.accounting)
@@ -260,8 +265,12 @@ class MemoryController:
         #: Scheduler component; owns the plan/candidate caches and the
         #: scheduling/timing epochs (PR 2's fast engine) as public
         #: attributes the hot loop below reads directly.
-        self._sched = components.SCHEDULERS.create(self.config.scheduling)
+        self._sched = components.make_scheduler(self.config.scheduling)
         self._sched.bind(self)
+        #: CAS-service hook for requester-aware arbiters (wrr charges
+        #: credits, bank-reg counts budget); None for schedulers that
+        #: do not define it, so the default hot path pays one check.
+        self._note_service = getattr(self._sched, "note_service", None)
         #: Refresh component; `next_due`/`until` are read every step.
         self._refresh = components.REFRESH.create(
             self.config.resolved_refresh
@@ -278,6 +287,19 @@ class MemoryController:
         self._log_bursts = self.log.bursts
         self._log_cas_windows = self.log.cas_windows
         self._log_blocked = self.log.blocked
+        # Requester-attribution sidecars (see EventLog): appended in
+        # lockstep with their primaries so per-requester stacks can be
+        # built without touching the fingerprinted timelines.
+        self._log_burst_owners = self.log.burst_owners
+        self._log_cas_owners = self.log.cas_owners
+        self._log_pre_owners = self.log.pre_owner_windows
+        self._log_act_owners = self.log.act_owner_windows
+        self._log_blocked_owners = self.log.blocked_owners
+        # Last requester to issue a request-driven command, per bank and
+        # channel-wide: a blocked candidate whose binding constraint was
+        # last touched by a *different* requester counts as interference.
+        self._last_req_by_bank = [-1] * self.num_banks
+        self._last_req_channel = -1
         # Cached live handler lists (identity-stable, see EventBus):
         # publishing costs one truthiness check while nobody subscribes.
         events = self.events
@@ -286,6 +308,7 @@ class MemoryController:
         self._ev_complete = events.handlers(RequestCompleted)
         self._ev_refresh = events.handlers(RefreshStarted)
         self._ev_heartbeat = events.handlers(SchedulerHeartbeat)
+        self._ev_stalled = events.handlers(RequesterStalled)
 
     # ------------------------------------------------------------------
     # Public API
@@ -418,7 +441,7 @@ class MemoryController:
         queue = self._write_buffer.queue if write_mode else self._read_queue
         open_rows = [b.open_row for b in self._banks]
         for entry in queue.candidates(
-            open_rows, self.config.scheduling, self.now,
+            open_rows, self._sched.candidate_policy, self.now,
             self.config.starvation_cap,
         ):
             key, __, cmd_type, coords = self._plan_entry(entry, write_mode)
@@ -479,7 +502,9 @@ class MemoryController:
             is_read = False
         handlers = self._ev_complete
         if handlers:
-            event = RequestCompleted(self.now, req.req_id, is_read, req.finish)
+            event = RequestCompleted(
+                self.now, req.req_id, is_read, req.finish, req.requester_id
+            )
             for handler in handlers:
                 handler(event)
 
@@ -525,7 +550,8 @@ class MemoryController:
                     )
                     if ev_admit:
                         event = RequestAdmitted(
-                            now, req.req_id, False, flat, True
+                            now, req.req_id, False, flat, True,
+                            req.requester_id,
                         )
                         for handler in ev_admit:
                             handler(event)
@@ -542,7 +568,9 @@ class MemoryController:
                 dirty_write.append(flat)
                 is_write = True
             if ev_admit:
-                event = RequestAdmitted(now, req.req_id, is_write, flat, False)
+                event = RequestAdmitted(
+                    now, req.req_id, is_write, flat, False, req.requester_id
+                )
                 for handler in ev_admit:
                     handler(event)
         if admitted:
@@ -683,6 +711,9 @@ class MemoryController:
                         lb.append(
                             (now, end, BlockScope.CHANNEL, -1, "data_inflight")
                         )
+                        # Pipeline drain blocks no requester in
+                        # particular: shared row, never interference.
+                        self._log_blocked_owners.append((-1, False))
             return self._advance_to(wake, t_limit)
 
         (key, entry, cmd_type, coords) = best
@@ -705,10 +736,36 @@ class MemoryController:
                     block = sched.block_info(entry, cmd_type, coords, issue_at)
                     sched.plan_block = block
                 bg = coords.bank_group if coords is not None else -1
+                # Requester attribution of the wait: the victim is the
+                # planned candidate's requester; the blocker is whoever
+                # last issued a request-driven command on the binding
+                # scope (the candidate's bank for bank-scope blocks,
+                # channel-wide otherwise). A different blocker makes the
+                # window cross-requester interference — except for
+                # bank-regulation gates, which the victim's own budget
+                # causes. Single-requester runs always classify as
+                # self-blocked, so the merge below behaves exactly as
+                # before and historic fingerprints are preserved.
+                if entry is not None:
+                    victim = entry.request.requester_id
+                    if block.scope is BlockScope.BANK:
+                        blocker = self._last_req_by_bank[entry.flat_bank]
+                    else:
+                        blocker = self._last_req_channel
+                    inter = (
+                        blocker >= 0
+                        and blocker != victim
+                        and block.reason != "bank_regulation"
+                    )
+                else:
+                    victim = -1
+                    inter = False
+                owner = (victim, inter)
                 # Extend the previous window in place when contiguous
                 # with an identical payload (windows are disjoint and
                 # time-ordered, so this changes no attribution).
                 lb = self._log_blocked
+                lbo = self._log_blocked_owners
                 last = lb[-1] if lb else None
                 if (
                     last is not None
@@ -716,10 +773,18 @@ class MemoryController:
                     and last[2] is block.scope
                     and last[3] == bg
                     and last[4] == block.reason
+                    and lbo[-1] == owner
                 ):
                     lb[-1] = (last[0], end, block.scope, bg, block.reason)
                 else:
                     lb.append((now, end, block.scope, bg, block.reason))
+                    lbo.append(owner)
+                    if inter and self._ev_stalled:
+                        event = RequesterStalled(
+                            now, end, victim, blocker, block.reason
+                        )
+                        for handler in self._ev_stalled:
+                            handler(event)
             # Fused wait-and-issue: when the planned command itself is the
             # wake event (no arrival or refresh preempts it — strictly,
             # since a tie would admit/refresh first on re-entry), its
@@ -788,10 +853,14 @@ class MemoryController:
         sched.cand_write[flat] = None
         ev_command = self._ev_command
         if entry is None:
-            # Policy precharge: nothing is waiting for this bank.
+            # Policy precharge: nothing is waiting for this bank. The
+            # bank's last-requester slot reverts to shared — the next
+            # candidate blocked on this bank waits on a policy action,
+            # not on another requester's command.
             bank = coords.bank
             bank.do_precharge(t, record=False)
             self.stats.precharges += 1
+            self._last_req_by_bank[flat] = -1
             if self._trace_commands:
                 self._record_command(
                     cmd_type, t, coords.bank_group, bank, rank=coords.rank
@@ -807,10 +876,14 @@ class MemoryController:
 
         bank = self._banks[entry.flat_bank]
         req = entry.request
+        rq = req.requester_id
+        self._last_req_by_bank[flat] = rq
+        self._last_req_channel = rq
         stats = self.stats
         if cmd_type is _PRE:
             bank.do_precharge(t)
             stats.precharges += 1
+            self._log_pre_owners.append((t, t + self._tRP, flat, rq))
             if req.own_pre_start < 0:
                 req.own_pre_start = t
                 req.own_pre_end = t + self._tRP
@@ -818,6 +891,7 @@ class MemoryController:
             bank.do_activate(t, coords.row)
             self._ranks[coords.rank].record_act(t, coords.bank_group)
             stats.activates += 1
+            self._log_act_owners.append((t, t + self._tRCD, flat, rq))
             if req.own_act_start < 0:
                 req.own_act_start = t
                 req.own_act_end = t + self._tRCD
@@ -843,7 +917,12 @@ class MemoryController:
             self._log_bursts.append(
                 (data_start, data_end, is_write, req.core_id)
             )
+            self._log_burst_owners.append(rq)
             self._log_cas_windows.append((t, data_end, entry.flat_bank))
+            self._log_cas_owners.append(rq)
+            note_service = self._note_service
+            if note_service is not None:
+                note_service(rq, flat, t)
             if write_mode:
                 self._write_buffer.complete(entry)
             else:
@@ -857,7 +936,7 @@ class MemoryController:
         if ev_command:
             event = CommandIssued(
                 t, cmd_type.name, entry.flat_bank, coords.bank_group,
-                coords.rank, coords.row, req.req_id,
+                coords.rank, coords.row, req.req_id, rq,
             )
             for handler in ev_command:
                 handler(event)

@@ -93,6 +93,7 @@ def paper_system(
     hierarchy: HierarchyConfig | None = None,
     core: CoreConfig | None = None,
     scheduling: str = "fr-fcfs",
+    requesters: int | tuple[int, ...] | None = None,
 ) -> SystemConfig:
     """The paper's setup: DDR4-2400, FR-FCFS, Skylake-like cores.
 
@@ -102,7 +103,13 @@ def paper_system(
     `page_policy` and `scheduling` accept any name registered in
     :data:`repro.dram.components.PAGE_POLICIES` /
     :data:`repro.dram.components.SCHEDULERS`, including custom
-    components registered by the caller.
+    components registered by the caller; scheduling strings may carry
+    parameters (``"wrr:2,1"``, ``"bank-reg:period=1000,budget=4"``).
+
+    `requesters` selects the multi-requester QoS model (docs/qos.md):
+    a tuple gives each core its requester domain explicitly; an int N
+    spreads the cores round-robin over N domains (core i -> i % N);
+    ``None`` keeps the single-requester behaviour.
 
     Every knob is validated eagerly here (naming the bad field) so a
     sweep over many points fails at construction, not mid-run.
@@ -121,6 +128,20 @@ def paper_system(
             f"paper_system(address_scheme=...) must be 'default' or "
             f"'interleaved', got {address_scheme!r}"
         )
+    if isinstance(requesters, bool):
+        raise ConfigurationError(
+            f"paper_system(requesters=...) must be an int, a tuple of "
+            f"ints or None, got {requesters!r}"
+        )
+    if isinstance(requesters, int):
+        if requesters < 1:
+            raise ConfigurationError(
+                f"paper_system(requesters=...) must be >= 1, "
+                f"got {requesters!r}"
+            )
+        requesters = tuple(i % requesters for i in range(cores))
+    elif requesters is not None:
+        requesters = tuple(requesters)
     if hierarchy is None:
         hierarchy = gap_hierarchy() if gap else HierarchyConfig()
     memory = ControllerConfig(
@@ -134,4 +155,5 @@ def paper_system(
         core=core if core is not None else CoreConfig(),
         hierarchy=hierarchy,
         memory=memory,
+        requesters=requesters,
     )

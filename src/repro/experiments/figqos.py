@@ -1,0 +1,113 @@
+"""QoS figure: per-requester interference stacks under scheduler
+policies.
+
+Not a figure from the paper — an extension of its stack methodology to
+the multi-requester setting (docs/qos.md): two CPU cores (requester
+domain 0, the paper's random pattern) share the channel with a
+GPU/DMA-style streaming agent (domain 1), under each scheduling policy.
+Per-requester bandwidth stacks show who got the channel, and the
+``interference`` component — in both the bandwidth and latency stacks —
+shows what each requester paid for sharing it:
+
+* ``fr-fcfs`` lets the agent's row hits crowd out the random CPU
+  traffic (large CPU-side interference);
+* ``wrr`` equalizes service between the domains;
+* weighted ``wrr`` shifts bandwidth toward the favoured domain;
+* ``bank-reg`` caps the agent's per-bank CAS rate, trading its
+  bandwidth for CPU latency.
+
+The extra payload carries a fairness table built on the QoS
+literature's *slowdown* metric: each requester's average read latency
+under contention divided by its latency running the same workload
+alone (``run_qos(solo=...)``, fr-fcfs, no contention). The fairness
+ratio is min/max slowdown — 1.0 means both domains suffer equally
+from sharing. Full-run average bandwidth is deliberately *not* the
+metric: in a closed-loop run every trace completes, so per-requester
+bytes/time is fixed by the workload and identical under every
+scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult, run_qos
+from repro.stacks.requester import SHARED_REQUESTER
+
+#: (label, scheduling string) pairs, in figure order.
+SCHEDULERS = (
+    ("fr-fcfs", "fr-fcfs"),
+    ("wrr", "wrr"),
+    ("wrr 3:1", "wrr:3,1"),
+    ("bank-reg", "bank-reg:period=1000,budget=4"),
+)
+
+
+def fairness_ratio(slowdowns: dict[int, float]) -> float:
+    """Min/max ratio of per-requester slowdowns (1.0 = equal pain)."""
+    values = [v for v in slowdowns.values() if v > 0.0]
+    if len(values) < 2:
+        return 1.0
+    return min(values) / max(values)
+
+
+def solo_latencies(scale: str = "ci") -> dict[int, float]:
+    """Contention-free average read latency (ns) per requester domain.
+
+    Each side of the scenario runs alone under fr-fcfs — the no-sharing
+    baseline the slowdown metric divides by.
+    """
+    baselines: dict[int, float] = {}
+    for requester, solo in ((0, "cpu"), (1, "agent")):
+        result = run_qos(scheduling="fr-fcfs", scale=scale, solo=solo)
+        baselines[requester] = result.latency_stack().total
+    return baselines
+
+
+def run(scale: str = "ci") -> FigureResult:
+    """Regenerate this figure's data at the given scale."""
+    figure = FigureResult("figqos")
+    baselines = solo_latencies(scale)
+    fairness: dict[str, dict] = {}
+    for label, scheduling in SCHEDULERS:
+        result = run_qos(scheduling=scheduling, scale=scale)
+        bandwidth = result.per_requester_bandwidth_stacks(f"{label} ")
+        latency = result.per_requester_latency_stacks(f"{label} ")
+        for requester in sorted(bandwidth):
+            if requester != SHARED_REQUESTER:
+                figure.bandwidth.append(bandwidth[requester])
+        slowdowns: dict[int, float] = {}
+        for requester in sorted(latency):
+            figure.latency.append(latency[requester])
+            base = baselines.get(requester)
+            if base:
+                slowdowns[requester] = latency[requester].total / base
+        fairness[label] = {
+            "slowdown": {str(r): v for r, v in slowdowns.items()},
+            "fairness": fairness_ratio(slowdowns),
+        }
+    figure.extra["solo_latency_ns"] = {
+        str(r): v for r, v in baselines.items()
+    }
+    figure.extra["fairness"] = fairness
+    figure.extra["fairness_table"] = "\n".join(
+        f"{label:<10} " + "  ".join(
+            f"R{r} x{v:7.2f}"
+            for r, v in sorted(entry["slowdown"].items())
+        ) + f"  fairness={entry['fairness']:.3f}"
+        for label, entry in fairness.items()
+    )
+    return figure
+
+
+def main(scale: str = "paper", output_dir: str = "results") -> FigureResult:
+    """Print the figure as tables and write SVGs to `output_dir`."""
+    figure = run(scale)
+    emit(
+        figure, output_dir,
+        title="QoS: per-requester stacks, 2 CPU cores vs streaming agent",
+    )
+    return figure
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

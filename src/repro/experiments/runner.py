@@ -6,10 +6,15 @@ from dataclasses import dataclass, field
 
 from repro.cpu.core import CoreConfig
 from repro.cpu.system import CpuSystem, SimulationResult
+from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentScale, get_scale, paper_system
 from repro.stacks.components import Stack, StackSeries
 from repro.workloads.gap.suite import GapWorkload
-from repro.workloads.synthetic import SyntheticConfig, make_pattern
+from repro.workloads.synthetic import (
+    StreamingAgentWorkload,
+    SyntheticConfig,
+    make_pattern,
+)
 
 
 @dataclass
@@ -60,6 +65,7 @@ def run_synthetic(
     guard=None,
     scheduling: str = "fr-fcfs",
     core_engine: str | None = None,
+    requesters: int | tuple[int, ...] | None = None,
 ) -> SimulationResult:
     """Run one synthetic configuration through the full pipeline.
 
@@ -71,6 +77,11 @@ def run_synthetic(
     `core_engine` selects the core stepper (``"fast"`` or
     ``"reference"``, see :data:`repro.cpu.core.CORE_ENGINES`); None
     keeps the :class:`~repro.cpu.core.CoreConfig` default.
+
+    `requesters` maps cores to requester domains as in
+    :func:`~repro.experiments.config.paper_system`; pair it with a
+    ``scheduling`` QoS policy (``"wrr:..."``/``"bank-reg:..."``) for
+    multi-requester interference runs.
     """
     scale = get_scale(scale)
     # The scaled (GAP) hierarchy: with the paper's full 11 MB LLC, runs
@@ -87,6 +98,7 @@ def run_synthetic(
         write_queue_capacity=write_queue_capacity,
         gap=True,
         core=None if core_engine is None else CoreConfig(engine=core_engine),
+        requesters=requesters,
     )
     workload = make_pattern(pattern, SyntheticConfig(
         accesses_per_core=scale.synthetic_accesses,
@@ -94,6 +106,71 @@ def run_synthetic(
     ))
     system = CpuSystem(config)
     return system.run(workload.traces(cores), guard=guard)
+
+
+def run_qos(
+    pattern: str = "random",
+    cpu_cores: int = 2,
+    store_fraction: float = 0.0,
+    page_policy: str = "open",
+    scale: str | ExperimentScale = "ci",
+    label: str = "",
+    guard=None,
+    scheduling: str = "wrr",
+    core_engine: str | None = None,
+    agent_accesses_factor: int = 2,
+    solo: str | None = None,
+) -> SimulationResult:
+    """Run the canonical QoS scenario: CPU cores vs a streaming agent.
+
+    `cpu_cores` cores run `pattern` in requester domain 0 while one
+    extra core runs a :class:`StreamingAgentWorkload` (a GPU/DMA-style
+    sequential stream, `agent_accesses_factor` times the per-core
+    access count) in its own domain 1. The `scheduling` policy
+    arbitrates between the two domains; per-requester stacks of the
+    returned result show who got the channel and who waited
+    (docs/qos.md).
+
+    `solo="cpu"` / `solo="agent"` runs just that side of the scenario
+    (same workload definitions, no contention) — the baseline for the
+    slowdown/fairness metrics of the QoS figure.
+    """
+    if solo not in (None, "cpu", "agent"):
+        raise ConfigurationError(
+            f"run_qos(solo=...) must be None, 'cpu' or 'agent', "
+            f"got {solo!r}"
+        )
+    scale = get_scale(scale)
+    cpu_workload = make_pattern(pattern, SyntheticConfig(
+        accesses_per_core=scale.synthetic_accesses,
+        store_fraction=store_fraction,
+    ))
+    agent_workload = StreamingAgentWorkload(SyntheticConfig(
+        accesses_per_core=scale.synthetic_accesses * agent_accesses_factor,
+        instructions_per_access=1,
+    ))
+    if solo == "cpu":
+        cores = cpu_cores
+        requesters: tuple[int, ...] = (0,) * cpu_cores
+        traces = cpu_workload.traces(cpu_cores)
+    elif solo == "agent":
+        cores = 1
+        requesters = (1,)
+        traces = agent_workload.traces(1)
+    else:
+        cores = cpu_cores + 1
+        requesters = (0,) * cpu_cores + (1,)
+        traces = cpu_workload.traces(cpu_cores) + agent_workload.traces(1)
+    config = paper_system(
+        cores=cores,
+        page_policy=page_policy,
+        scheduling=scheduling,
+        gap=True,
+        core=None if core_engine is None else CoreConfig(engine=core_engine),
+        requesters=requesters,
+    )
+    system = CpuSystem(config)
+    return system.run(traces, guard=guard)
 
 
 def run_gap(

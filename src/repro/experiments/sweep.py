@@ -39,15 +39,24 @@ class SweepPoint:
     store_fraction: float = 0.0
     page_policy: str = "open"
     address_scheme: str = "default"
+    #: Scheduling spec (may carry params, e.g. ``"wrr:2,1"``).
+    scheduling: str = "fr-fcfs"
+    #: Requester domains the cores are spread over (1 = single domain).
+    requesters: int = 1
 
     @property
     def label(self) -> str:
         """Short human-readable point descriptor."""
-        return (
+        label = (
             f"{self.pattern[:3]} {self.cores}c "
             f"w{int(self.store_fraction * 100)} "
             f"{self.page_policy}/{self.address_scheme[:3]}"
         )
+        if self.scheduling != "fr-fcfs":
+            label += f" {self.scheduling}"
+        if self.requesters != 1:
+            label += f" q{self.requesters}"
+        return label
 
 
 @dataclass
@@ -152,6 +161,7 @@ class SweepResult:
         """The sweep as a CSV table."""
         lines = [
             "pattern,cores,store_fraction,page_policy,address_scheme,"
+            "scheduling,requesters,"
             "achieved_gbps,avg_latency_ns,page_hit_rate"
         ]
         for record in self.records:
@@ -159,6 +169,7 @@ class SweepResult:
             lines.append(
                 f"{p.pattern},{p.cores},{p.store_fraction},"
                 f"{p.page_policy},{p.address_scheme},"
+                f"{p.scheduling},{p.requesters},"
                 f"{record.achieved_gbps:.4f},{record.avg_latency_ns:.2f},"
                 f"{record.page_hit_rate:.4f}"
             )
@@ -190,12 +201,15 @@ def grid(
     store_fractions: Iterable[float] = (0.0,),
     page_policies: Iterable[str] = ("open",),
     address_schemes: Iterable[str] = ("default",),
+    schedulings: Iterable[str] = ("fr-fcfs",),
+    requesters: Iterable[int] = (1,),
 ) -> list[SweepPoint]:
     """Cartesian product of the given axes."""
     return [
         SweepPoint(*combo)
         for combo in itertools.product(
-            patterns, cores, store_fractions, page_policies, address_schemes
+            patterns, cores, store_fractions, page_policies,
+            address_schemes, schedulings, requesters,
         )
     ]
 
@@ -374,6 +388,10 @@ def _run_point(
                 address_scheme=point.address_scheme,
                 scale=scale,
                 guard=guard,
+                scheduling=point.scheduling,
+                requesters=(
+                    point.requesters if point.requesters > 1 else None
+                ),
             )
         except ReproError as error:
             if attempts > retries:
@@ -409,15 +427,22 @@ def point_job(
     """
     from repro.service.job import Job
 
+    config = {
+        "pattern": point.pattern,
+        "cores": point.cores,
+        "store_fraction": point.store_fraction,
+        "page_policy": point.page_policy,
+        "address_scheme": point.address_scheme,
+    }
+    # Non-default QoS axes only: default points keep their historical
+    # content digest, so pre-existing caches stay warm.
+    if point.scheduling != "fr-fcfs":
+        config["scheduling"] = point.scheduling
+    if point.requesters != 1:
+        config["requesters"] = point.requesters
     return Job(
         kind="synthetic",
-        config={
-            "pattern": point.pattern,
-            "cores": point.cores,
-            "store_fraction": point.store_fraction,
-            "page_policy": point.page_policy,
-            "address_scheme": point.address_scheme,
-        },
+        config=config,
         scale=scale,
         label=point.label,
         timeout_s=timeout_s,

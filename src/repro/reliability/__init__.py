@@ -29,6 +29,7 @@ from repro.reliability.fingerprint import (
     diff_fingerprints,
     event_log_digest,
     fingerprint_digest,
+    qos_fingerprint,
     result_fingerprint,
 )
 from repro.reliability.guard import ReliabilityGuard
@@ -47,6 +48,7 @@ __all__ = [
     "fingerprint_digest",
     "latest_checkpoint",
     "load_checkpoint",
+    "qos_fingerprint",
     "result_fingerprint",
     "save_checkpoint",
 ]

@@ -121,6 +121,37 @@ def result_fingerprint(result) -> dict:
     return fp
 
 
+def qos_fingerprint(result) -> dict:
+    """Fingerprint extended with per-requester stacks.
+
+    Deliberately a *separate* helper: adding a ``requesters`` section to
+    :func:`result_fingerprint` would change the digest of every existing
+    golden fixture. QoS fixtures commit this richer shape instead; its
+    base sections (and the nested ``base_digest``) stay byte-compatible
+    with :func:`result_fingerprint`, so a QoS fingerprint of a
+    single-requester run still cross-checks against plain fixtures.
+    """
+    fp = result_fingerprint(result)
+    fp["base_digest"] = fp.pop("digest")
+    requesters: dict[str, dict] = {}
+    bandwidth = result.per_requester_bandwidth_stacks()
+    latency = result.per_requester_latency_stacks()
+    for rid in sorted(set(bandwidth) | set(latency)):
+        entry: dict = {}
+        if rid in bandwidth:
+            entry["bandwidth"] = [
+                [name, value] for name, value in bandwidth[rid].as_rows()
+            ]
+        if rid in latency:
+            entry["latency"] = [
+                [name, value] for name, value in latency[rid].as_rows()
+            ]
+        requesters[str(rid)] = entry
+    fp["requesters"] = requesters
+    fp["digest"] = fingerprint_digest(fp)
+    return fp
+
+
 def fingerprint_digest(fp: dict) -> str:
     """Canonical content digest of a fingerprint dict.
 
@@ -163,6 +194,32 @@ def diff_fingerprints(expected: dict, actual: dict) -> list[str]:
                 f"{stack} stack has {len(act_rows)} components, "
                 f"expected {len(exp_rows)}"
             )
+    exp_req = expected.get("requesters", {})
+    act_req = actual.get("requesters", {})
+    for rid in sorted(set(exp_req) | set(act_req)):
+        exp_entry = exp_req.get(rid)
+        act_entry = act_req.get(rid)
+        if exp_entry is None or act_entry is None:
+            problems.append(
+                f"requester {rid} present only in "
+                f"{'expected' if act_entry is None else 'actual'} "
+                f"fingerprint"
+            )
+            continue
+        for stack in ("bandwidth", "latency"):
+            exp_rows = exp_entry.get(stack, [])
+            act_rows = act_entry.get(stack, [])
+            for exp, act in zip(exp_rows, act_rows):
+                if list(exp) != list(act):
+                    problems.append(
+                        f"requester {rid} {stack} component {exp[0]!r}: "
+                        f"expected {exp[1]!r}, got {act[1]!r}"
+                    )
+            if len(exp_rows) != len(act_rows):
+                problems.append(
+                    f"requester {rid} {stack} stack has "
+                    f"{len(act_rows)} components, expected {len(exp_rows)}"
+                )
     exp_counts = expected.get("counts", {})
     act_counts = actual.get("counts", {})
     for key in sorted(set(exp_counts) | set(act_counts)):

@@ -113,7 +113,8 @@ class SyntheticExecutor:
     ``job.config`` keys are :func:`repro.experiments.runner.run_synthetic`
     keyword arguments: ``pattern`` (required), ``cores``,
     ``store_fraction``, ``page_policy``, ``address_scheme``,
-    ``scheduling``, ``write_queue_capacity``.
+    ``scheduling`` (may carry params, e.g. ``"wrr:2,1"``),
+    ``requesters``, ``write_queue_capacity``.
     """
 
     cacheable = True
@@ -137,6 +138,63 @@ class SyntheticExecutor:
                 f"bad synthetic job config {sorted(config)}: {error}"
             ) from error
         return _simulation_payload(result, job.label)
+
+
+@EXECUTORS.register("qos")
+class QosExecutor:
+    """Run one multi-requester QoS scenario (CPU cores vs streaming
+    agent).
+
+    ``job.config`` keys are :func:`repro.experiments.runner.run_qos`
+    keyword arguments: ``scheduling`` (e.g. ``"wrr:2,1"``,
+    ``"bank-reg:period=1000,budget=4"``), ``pattern``, ``cpu_cores``,
+    ``page_policy``, ``agent_accesses_factor``. On top of the standard
+    simulation payload the result carries per-requester stacks, the QoS
+    fingerprint (with per-requester digests) and the read-bandwidth
+    fairness ratio — so a scheduler-weight sweep through the result
+    cache replays full QoS data on a hit.
+    """
+
+    cacheable = True
+
+    def execute(self, job: Job) -> dict:
+        from repro.experiments.runner import run_qos
+        from repro.reliability.fingerprint import qos_fingerprint
+
+        config = dict(job.config)
+        try:
+            result = run_qos(
+                scale=job.resolved_scale() or "ci",
+                guard=_job_guard(job),
+                **config,
+            )
+        except TypeError as error:
+            raise ConfigurationError(
+                f"bad qos job config {sorted(config)}: {error}"
+            ) from error
+        payload = _simulation_payload(result, job.label)
+        payload["fingerprint"] = qos_fingerprint(result)
+        bandwidth = result.per_requester_bandwidth_stacks(job.label)
+        latency = result.per_requester_latency_stacks(job.label)
+        payload["requesters"] = {
+            str(requester): {
+                "bandwidth": stack_to_payload(stack),
+                "latency": (
+                    stack_to_payload(latency[requester])
+                    if requester in latency else None
+                ),
+            }
+            for requester, stack in bandwidth.items()
+        }
+        # Latency balance: min/max of per-requester average read
+        # latency. (Full-run average bandwidth is workload-fixed in a
+        # closed-loop run, so it cannot measure scheduler fairness.)
+        waits = [stack.total for stack in latency.values()]
+        payload["metrics"]["latency_balance"] = (
+            min(waits) / max(waits) if len(waits) > 1 and max(waits) > 0
+            else 1.0
+        )
+        return payload
 
 
 @EXECUTORS.register("gap")

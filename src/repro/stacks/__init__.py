@@ -9,6 +9,9 @@
   used alongside the memory stacks (Fig. 7).
 * :mod:`repro.stacks.extrapolation` — naive and stack-based bandwidth
   extrapolation across core counts (Sec. VIII-B).
+* :mod:`repro.stacks.requester` — per-requester bandwidth/latency
+  stacks with an explicit interference component (multi-requester QoS
+  runs; see docs/qos.md).
 """
 
 from repro.stacks.bandwidth import (
@@ -34,6 +37,14 @@ from repro.stacks.latency import (
     LatencyStackAccountant,
     latency_stack_from_requests,
 )
+from repro.stacks.requester import (
+    REQUESTER_BANDWIDTH_COMPONENTS,
+    REQUESTER_LATENCY_COMPONENTS,
+    SHARED_REQUESTER,
+    RequesterBandwidthAccountant,
+    RequesterLatencyAccountant,
+    fold_interference,
+)
 
 __all__ = [
     "BANDWIDTH_COMPONENTS",
@@ -46,9 +57,15 @@ __all__ = [
     "energy_stack_from_log",
     "LATENCY_COMPONENTS",
     "LatencyStackAccountant",
+    "REQUESTER_BANDWIDTH_COMPONENTS",
+    "REQUESTER_LATENCY_COMPONENTS",
+    "RequesterBandwidthAccountant",
+    "RequesterLatencyAccountant",
+    "SHARED_REQUESTER",
     "Stack",
     "StackSeries",
     "bandwidth_stack_from_log",
+    "fold_interference",
     "extrapolate_naive",
     "extrapolate_series",
     "extrapolate_stack_based",

@@ -16,6 +16,7 @@ _PALETTE: dict[str, tuple[str, int]] = {
     "activate": ("#ff7f0e", 208),
     "refresh": ("#9467bd", 97),
     "constraints": ("#e6b417", 178),
+    "interference": ("#7a0177", 90),
     "bank_idle": ("#2ca02c", 71),
     "idle": ("#bdbdbd", 250),
     # latency stacks

@@ -14,6 +14,7 @@ from repro.workloads.synthetic import (
     PointerChaseWorkload,
     RandomWorkload,
     SequentialWorkload,
+    StreamingAgentWorkload,
     StridedWorkload,
     SyntheticConfig,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "PointerChaseWorkload",
     "RandomWorkload",
     "SequentialWorkload",
+    "StreamingAgentWorkload",
     "StridedWorkload",
     "SyntheticConfig",
     "Workload",

@@ -283,6 +283,59 @@ class PointerChaseWorkload(Workload):
         return items
 
 
+class StreamingAgentWorkload(Workload):
+    """A GPU/DMA-style streaming agent: wide sequential bursts, no
+    dependences.
+
+    Models the "other requester" of the QoS experiments (docs/qos.md):
+    an accelerator or DMA engine that issues long unit-stride read
+    streams with almost no compute between accesses and unbounded MLP.
+    On a shared channel it monopolizes row hits, which is exactly the
+    interference the ``wrr``/``bank-reg`` schedulers regulate. Runs on
+    an ordinary core slot; give that core its own requester domain via
+    ``SystemConfig.requesters``.
+    """
+
+    def __init__(
+        self,
+        config: SyntheticConfig | None = None,
+        base_address: int = 3 << 28,
+    ) -> None:
+        base_config = config or SyntheticConfig()
+        if base_config.instructions_per_access == 8 and config is None:
+            # An agent does essentially no compute per line.
+            base_config = SyntheticConfig(instructions_per_access=1)
+        self.config = base_config
+        self.base_address = base_address
+        self.name = "streaming-agent"
+
+    def traces(self, cores: int) -> list[Iterable[TraceItem]]:
+        """One instruction trace per core."""
+        return [self._trace(core_id) for core_id in range(cores)]
+
+    def _trace(self, core_id: int) -> list[TraceItem]:
+        key = ("streaming", self.config, self.base_address, core_id)
+        return _trace_block(key, lambda: self._build(core_id))
+
+    def _build(self, core_id: int) -> list[TraceItem]:
+        config = self.config
+        base = stagger_base(self.base_address, core_id, config.footprint_bytes)
+        stores = _StorePattern(config.store_fraction)
+        address = base
+        instructions = max(1, config.instructions_per_access)
+        line_bytes = config.line_bytes
+        items: list[TraceItem] = []
+        append = items.append
+        for __ in range(config.accesses_per_core):
+            append(TraceItem(
+                instructions=instructions,
+                address=address,
+                is_store=stores.next_is_store(),
+            ))
+            address += line_bytes
+        return items
+
+
 class PhasedWorkload(Workload):
     """Alternating phases of different patterns (e.g. seq, then random).
 
@@ -334,13 +387,14 @@ class PhasedWorkload(Workload):
 def make_pattern(
     pattern: str, config: SyntheticConfig | None = None
 ) -> Workload:
-    """Factory: ``sequential``, ``random``, ``strided`` or
-    ``pointer-chase``."""
+    """Factory: ``sequential``, ``random``, ``strided``,
+    ``pointer-chase`` or ``streaming``."""
     patterns = {
         "sequential": SequentialWorkload,
         "random": RandomWorkload,
         "strided": StridedWorkload,
         "pointer-chase": PointerChaseWorkload,
+        "streaming": StreamingAgentWorkload,
     }
     if pattern not in patterns:
         raise WorkloadError(

@@ -22,7 +22,9 @@ class TestCoreArchitecture:
     def test_registries_are_populated(self):
         from repro.dram import components
 
-        assert components.SCHEDULERS.names() == ("fr-fcfs", "fcfs")
+        assert components.SCHEDULERS.names() == (
+            "fr-fcfs", "fcfs", "wrr", "bank-reg"
+        )
         assert components.PAGE_POLICIES.names() == ("open", "closed")
         assert components.WRITE_DRAIN.names() == ("watermark", "burst")
         assert components.REFRESH.names() == ("all-bank", "none")
@@ -50,7 +52,10 @@ class TestEntryPoints:
     def test_experiment_modules_have_run_and_main(self):
         import importlib
 
-        for name in ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9"):
+        for name in (
+            "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+            "figqos",
+        ):
             module = importlib.import_module(f"repro.experiments.{name}")
             assert callable(module.run)
             assert callable(module.main)
