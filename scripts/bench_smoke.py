@@ -39,6 +39,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_FILE = REPO_ROOT / "BENCH_PR5.json"
+#: The cross-standard figure's own wall-clock record (same gate
+#: thresholds; DDR5/LPDDR5/HBM composite runs, so it moves with the
+#: multi-channel path rather than the single-controller hot loop).
+STD_RESULT_FILE = REPO_ROOT / "BENCH_PR9.json"
 
 WARN_SLOWDOWN = 0.10
 FAIL_SLOWDOWN = 0.25
@@ -85,6 +89,29 @@ def measure() -> tuple[float, list[float], str]:
     return min(runs), runs, digest
 
 
+def measure_figstd() -> tuple[float, list[float], str]:
+    """Time figstd(ci) regenerations; returns (best, all runs, digest).
+
+    The fingerprint covers the slowest composite configuration (2-core
+    random on DDR5's two sub-channels), so a multi-channel "speedup"
+    that changes results is refused a timing here too.
+    """
+    from repro.experiments import figstd
+    from repro.experiments.runner import run_synthetic
+    from repro.reliability.fingerprint import result_fingerprint
+
+    runs = []
+    for __ in range(TIMED_RUNS):
+        start = time.perf_counter()
+        figstd.run(scale="ci")
+        runs.append(time.perf_counter() - start)
+    digest = result_fingerprint(
+        run_synthetic("random", cores=2, scale="ci", guard=False,
+                      device="ddr5-4800")
+    )["digest"]
+    return min(runs), runs, digest
+
+
 def profile_phases() -> dict:
     """One instrumented fig2(ci) run, bucketed into coarse phases.
 
@@ -124,32 +151,29 @@ def profile_phases() -> dict:
     return phases
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--update-baseline", action="store_true",
-        help="record this measurement as the new baseline",
-    )
-    parser.add_argument(
-        "--skip-phases", action="store_true",
-        help="skip the profiled phase-breakdown run (faster)",
-    )
-    args = parser.parse_args(argv)
+def gate_and_record(
+    result_file: Path,
+    label: str,
+    elapsed: float,
+    runs: list[float],
+    digest: str,
+    update_baseline: bool,
+    extra: dict | None = None,
+) -> int:
+    """Compare one measurement against its committed baseline file.
 
+    Writes the (possibly re-baselined) JSON record and prints the
+    verdict; returns the exit status for this benchmark alone.
+    """
     previous = {}
-    if RESULT_FILE.exists():
-        previous = json.loads(RESULT_FILE.read_text())
-
-    elapsed, runs, digest = measure()
-    phases = (
-        previous.get("phases") if args.skip_phases else profile_phases()
-    )
+    if result_file.exists():
+        previous = json.loads(result_file.read_text())
     baseline = previous.get("baseline_seconds")
     baseline_digest = previous.get("fingerprint")
 
     status = "ok"
-    message = f"fig2(ci): {elapsed:.1f}s"
-    if args.update_baseline or baseline is None:
+    message = f"{label}: {elapsed:.1f}s"
+    if update_baseline or baseline is None:
         baseline = elapsed
         message += " (baseline updated)"
     else:
@@ -162,36 +186,34 @@ def main(argv: list[str] | None = None) -> int:
         elif ratio > WARN_SLOWDOWN:
             status = "warn"
 
-    if args.update_baseline or baseline_digest is None:
+    if update_baseline or baseline_digest is None:
         baseline_digest = digest
 
     baseline_workers = previous.get("workers", WORKERS)
-    if baseline_workers != WORKERS and not args.update_baseline:
+    if baseline_workers != WORKERS and not update_baseline:
         print(
-            f"bench_smoke: FAIL — baseline was measured with "
+            f"bench_smoke: FAIL — {label} baseline was measured with "
             f"{baseline_workers} worker(s), this build uses {WORKERS}; "
             f"re-baseline with --update-baseline",
             file=sys.stderr,
         )
         return 1
 
-    RESULT_FILE.write_text(json.dumps({
-        "benchmark": "fig2-ci",
+    result_file.write_text(json.dumps({
+        "benchmark": label,
         "baseline_seconds": round(baseline, 2),
         "measured_seconds": round(elapsed, 2),
         "timed_runs": [round(r, 2) for r in runs],
         "timing_protocol": f"best-of-{TIMED_RUNS}",
-        "seed_seconds": SEED_SECONDS,
-        "speedup_vs_seed": round(SEED_SECONDS / elapsed, 2),
         "fingerprint": baseline_digest,
-        "phases": phases,
         "workers": WORKERS,
         "status": status,
+        **(extra or {}),
     }, indent=2, sort_keys=True) + "\n")
 
     if status == "fingerprint-changed":
         print(
-            f"bench_smoke: FAIL — simulation results changed "
+            f"bench_smoke: FAIL — {label} simulation results changed "
             f"(fingerprint {digest[:12]} != baseline "
             f"{baseline_digest[:12]}); regenerate the golden fixtures "
             f"and re-baseline deliberately",
@@ -212,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 0
+    phases = (extra or {}).get("phases")
     if phases:
         split = ", ".join(
             f"{key.removesuffix('_fraction')} {value:.0%}"
@@ -221,6 +244,49 @@ def main(argv: list[str] | None = None) -> int:
         message += f" [{split}]"
     print(f"bench_smoke: {message}")
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="record this measurement as the new baseline",
+    )
+    parser.add_argument(
+        "--skip-phases", action="store_true",
+        help="skip the profiled phase-breakdown run (faster)",
+    )
+    parser.add_argument(
+        "--skip-figstd", action="store_true",
+        help="skip the cross-standard figure benchmark (BENCH_PR9.json)",
+    )
+    args = parser.parse_args(argv)
+
+    previous = {}
+    if RESULT_FILE.exists():
+        previous = json.loads(RESULT_FILE.read_text())
+
+    elapsed, runs, digest = measure()
+    phases = (
+        previous.get("phases") if args.skip_phases else profile_phases()
+    )
+    exit_status = gate_and_record(
+        RESULT_FILE, "fig2-ci", elapsed, runs, digest,
+        args.update_baseline,
+        extra={
+            "seed_seconds": SEED_SECONDS,
+            "speedup_vs_seed": round(SEED_SECONDS / elapsed, 2),
+            "phases": phases,
+        },
+    )
+
+    if not args.skip_figstd:
+        elapsed, runs, digest = measure_figstd()
+        exit_status = max(exit_status, gate_and_record(
+            STD_RESULT_FILE, "figstd-ci", elapsed, runs, digest,
+            args.update_baseline,
+        ))
+    return exit_status
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ BENCH_TIMEOUT="${BENCH_TIMEOUT:-300}"
 SERVICE_TIMEOUT="${SERVICE_TIMEOUT:-180}"
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-120}"
 QOS_TIMEOUT="${QOS_TIMEOUT:-120}"
+DEVICES_TIMEOUT="${DEVICES_TIMEOUT:-120}"
 
 MARKER_ARGS=()
 if [[ "${1:-}" == "fast" ]]; then
@@ -68,6 +69,14 @@ echo "== QoS smoke (timeout ${QOS_TIMEOUT}s) =="
 # and tests/golden/test_qos_golden.py (engine-parity cells are 'slow').
 timeout --signal=KILL "$QOS_TIMEOUT" \
     python scripts/qos_smoke.py
+
+echo "== device library smoke (timeout ${DEVICES_TIMEOUT}s) =="
+# Tiny run per registered preset: exact aggregate-peak conservation,
+# ddr4-2400 bit identity with the deviceless baseline, deterministic
+# rerun digests (composite multi-channel devices included). The full
+# device matrix is tests/devices/ and tests/golden/test_devices.py.
+timeout --signal=KILL "$DEVICES_TIMEOUT" \
+    python scripts/devices_smoke.py
 
 echo "== wall-clock smoke benchmark (timeout ${BENCH_TIMEOUT}s) =="
 # Gates on BENCH_PR5.json: warns past a 10% slowdown, fails past 25%

@@ -35,7 +35,7 @@ import traceback
 from contextlib import redirect_stdout
 
 FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-           "figqos")
+           "figqos", "figstd")
 
 
 def _write_text(output_dir: str, name: str, text: str) -> str:

@@ -5,12 +5,14 @@ Subcommands:
 * ``analyze`` — run a synthetic pattern or GAP kernel and print the
   bandwidth/latency/cycle stacks with the bottleneck advisor's findings.
 * ``figure`` — regenerate one of the paper's figures (fig2..fig9), or
-  the QoS extension figure (``figqos``, see docs/qos.md).
+  the extension figures: QoS (``figqos``, see docs/qos.md) and
+  cross-standard (``figstd``, see docs/devices.md).
 * ``batch`` — run a configuration grid through the parallel execution
   service (worker pool + result cache) with live progress.
 * ``trace`` — build a bandwidth stack from a stored command trace.
 * ``resume`` — continue a checkpointed run to completion.
-* ``specs`` — list the built-in DRAM timing specifications.
+* ``specs`` — list the registered memory device presets
+  (see :data:`repro.devices.DEVICES` and docs/devices.md).
 
 Failures surface as one-line messages on stderr with distinct exit
 codes per error family (see :data:`repro.errors.EXIT_CODES`), never as
@@ -26,8 +28,9 @@ import argparse
 import sys
 
 from repro.analysis.report import render_report
+from repro.devices import DEVICES
 from repro.dram import components
-from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
+from repro.dram.address import SCHEMES
 from repro.errors import ReproError, exit_code_for
 from repro.experiments.runner import resume_run, run_gap, run_synthetic
 from repro.trace.io import read_trace_path
@@ -36,7 +39,7 @@ from repro.viz.ascii_art import render_stacks
 from repro.workloads.gap.suite import GAP_KERNELS
 
 _FIGURES = ("fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-            "figqos")
+            "figqos", "figstd")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,8 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="spread the cores over N requester QoS "
                          "domains (core i -> domain i %% N; synthetic "
                          "only, see docs/qos.md)")
-    analyze.add_argument("--scheme", choices=("default", "interleaved"),
+    analyze.add_argument("--scheme", choices=sorted(SCHEMES),
                          default="default", help="bank indexing scheme")
+    analyze.add_argument(
+        "--device", default=None, metavar="NAME",
+        help="memory device preset from the device registry "
+        f"({', '.join(DEVICES.names())}; parameterizable, e.g. "
+        "'ddr5-4800:subchannels=4' or 'hbm2:pseudo_channels=4'; "
+        "default: the paper's DDR4-2400 — see `dram-stacks specs`)",
+    )
     analyze.add_argument("--scale", choices=("ci", "paper"), default="ci")
     analyze.add_argument(
         "--format", choices=("report", "csv", "json"), default="report",
@@ -131,6 +141,12 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--requesters", default="1", metavar="LIST",
         help="comma-separated requester-domain counts (default 1)",
+    )
+    batch.add_argument(
+        "--devices", default="ddr4-2400", metavar="LIST",
+        help="semicolon-separated device selectors (parameterized "
+        "selectors contain commas, e.g. "
+        "'ddr4-2400;ddr5-4800:subchannels=4'; default ddr4-2400)",
     )
     batch.add_argument("--scale", choices=("ci", "paper"), default="ci")
     batch.add_argument(
@@ -311,6 +327,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
             address_scheme=args.scheme,
             scale=args.scale,
             guard=guard,
+            device=args.device,
         )
         title = f"GAP {workload.describe()} on {args.cores} core(s)"
     else:
@@ -324,11 +341,14 @@ def _run_analyze(args: argparse.Namespace) -> int:
             scale=args.scale,
             guard=guard,
             requesters=args.requesters,
+            device=args.device,
         )
         title = (
             f"{args.workload} w{int(args.stores * 100)} on "
             f"{args.cores} core(s)"
         )
+    if args.device:
+        title += f" [{args.device}]"
     if args.requesters and args.requesters > 1:
         from repro.viz.ascii_art import render_stack_table
 
@@ -391,10 +411,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         store_fractions=_split(args.stores, float),
         page_policies=_split(args.page_policies),
         address_schemes=_split(args.schemes),
-        # Scheduling specs carry commas in their params ("wrr:2,1"),
-        # so this axis splits on semicolons.
+        # Scheduling specs and device selectors carry commas in their
+        # params ("wrr:2,1", "ddr5-4800:subchannels=4"), so these axes
+        # split on semicolons.
         schedulings=_split(args.schedulings, sep=";"),
         requesters=_split(args.requesters, int),
+        devices=_split(args.devices, sep=";"),
     )
     if not points:
         raise ConfigurationError("the requested grid is empty")
@@ -562,14 +584,22 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_specs(args: argparse.Namespace) -> int:
-    for spec in (DDR4_2400, DDR4_3200, DDR5_4800):
+    for name in DEVICES.names():
+        preset = DEVICES.create(name)
+        spec = preset.spec
         org = spec.organization
-        print(
-            f"{spec.name}: {spec.transfer_rate_mts:.0f} MT/s, "
-            f"{spec.peak_bandwidth_gbps:.1f} GB/s peak, "
-            f"{org.bank_groups}x{org.banks_per_group} banks, "
-            f"CL{spec.tCL} tRCD{spec.tRCD} tRP{spec.tRP}"
+        channels = (
+            f", {preset.channels} channels" if preset.channels > 1 else ""
         )
+        print(
+            f"{name}: {spec.transfer_rate_mts:.0f} MT/s, "
+            f"{preset.peak_bandwidth_gbps:.1f} GB/s peak{channels}, "
+            f"{org.bank_groups}x{org.banks_per_group} banks, "
+            f"CL{spec.tCL} tRCD{spec.tRCD} tRP{spec.tRP}, "
+            f"refresh {preset.refresh}"
+        )
+        if preset.description:
+            print(f"  {preset.description}")
     return 0
 
 

@@ -12,7 +12,7 @@ registry keyed by the config strings of
 * :class:`WriteDrainPolicy` — when the write buffer preempts reads
   (``watermark``, ``burst``);
 * :class:`RefreshPolicy` — when and how refresh happens
-  (``all-bank``, ``none``);
+  (``all-bank``, ``same-bank``, ``none``);
 * :class:`AccountingTap` — what is recorded for the stack accountants
   (``event-log``, ``null``).
 
@@ -104,6 +104,37 @@ class CompositeMemory:
     def queued_requests(self) -> int:
         """Requests admitted but unserved, across all channels."""
         return sum(ch.queued_requests for ch in self.channels)
+
+    @property
+    def pending_reads(self) -> int:
+        """Reads accepted but not yet completed, across all channels."""
+        return sum(ch.pending_reads for ch in self.channels)
+
+    def run_until_next_read(self, t_limit: int = 1 << 62) -> list["Request"]:
+        """Advance until some channel completes a read (or `t_limit`).
+
+        Channels with pending reads advance one at a time; once one
+        yields a read completion its finish time bounds how far the
+        remaining channels run, so no channel overshoots the earliest
+        completion by more than its own single-step granularity (a
+        channel driven past a later-rescinded bound rewinds its clock,
+        see ``MemoryController._run`` — time limits are floors).
+        Returns immediately when no channel has a read pending.
+        """
+        if not any(ch.pending_reads for ch in self.channels):
+            return []
+        bound = t_limit
+        collected: list["Request"] = []
+        for ch in self.channels:
+            if not ch.pending_reads:
+                continue
+            done = ch.run_until_next_read(bound)
+            collected.extend(done)
+            for request in done:
+                if request.is_read and request.finish < bound:
+                    bound = request.finish
+        collected.sort(key=lambda r: r.finish)
+        return collected
 
     def run_until(self, t_limit: int) -> list["Request"]:
         """Advance every channel to `t_limit`; returns completions

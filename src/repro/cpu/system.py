@@ -32,7 +32,10 @@ from repro.reliability.guard import ReliabilityGuard
 from repro.stacks.bandwidth import BandwidthStackAccountant
 from repro.stacks.components import Stack, StackSeries
 from repro.stacks.cycle import CycleStackBuilder
-from repro.stacks.latency import LatencyStackAccountant
+from repro.stacks.latency import (
+    LatencyStackAccountant,
+    refresh_windows_for_latency,
+)
 from repro.stacks.requester import (
     RequesterBandwidthAccountant,
     RequesterLatencyAccountant,
@@ -76,7 +79,20 @@ class CpuSystem:
 
     def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or SystemConfig()
-        self.memory = MemoryController(self.config.memory)
+        # Device presets with several channels/sub-channels/pseudo-channels
+        # (see repro.devices) get a MemorySystem; everything else keeps the
+        # single controller, bit-identical to before.
+        device_channels = getattr(self.config.memory, "device_channels", 1)
+        if device_channels > 1:
+            from repro.dram.system import MemorySystem, MemorySystemConfig
+
+            self.memory = MemorySystem(MemorySystemConfig(
+                controller=self.config.memory, channels=device_channels,
+            ))
+        else:
+            self.memory = MemoryController(self.config.memory)
+        #: Whether `memory` is a multi-channel composite.
+        self._composite = device_channels > 1
         self.llc = self.config.hierarchy.make_llc()
         cycle_ns = self.memory.spec.cycle_ns
         self.cores = [
@@ -217,6 +233,12 @@ class CpuSystem:
 
     def _arrival(self, t: float) -> int:
         arrival = int(t) + self._noc_request
+        if self._composite:
+            # Channels advance unevenly; MemorySystem.enqueue clamps to
+            # the target channel's clock, which is the only one that
+            # matters. Clamping to the composite max here would charge
+            # queueing delay that never happened.
+            return arrival
         now = self.memory.now
         return arrival if arrival > now else now
 
@@ -441,6 +463,8 @@ class SimulationResult:
         self.memory = system.memory
         self.total_cycles = max(total_cycles, 1)
         self.spec = system.memory.spec
+        #: Whether the run used a multi-channel composite memory.
+        self.composite = hasattr(system.memory, "channels")
         #: InvariantAuditor the run finished with (None for bare runs).
         #: Stacks built from this result route violations through it.
         self.auditor = auditor
@@ -480,26 +504,41 @@ class SimulationResult:
 
     # ------------------------------------------------------------------
     def bandwidth_stack(self, label: str = "") -> Stack:
-        """Aggregate bandwidth stack (GB/s, sums to peak)."""
+        """Aggregate bandwidth stack (GB/s, sums to peak).
+
+        Multi-channel memories return the sum of per-channel stacks
+        (total = channels x per-channel peak)."""
+        if self.composite:
+            return self.memory.bandwidth_stack(self.total_cycles, label)
         acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.account(self.memory.log, self.total_cycles, label)
 
     def bandwidth_series(self, bin_cycles: int, label: str = "") -> StackSeries:
         """Through-time bandwidth stacks."""
+        self._require_single_channel("bandwidth_series")
         acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.account_series(
             self.memory.log, self.total_cycles, bin_cycles, label
         )
 
     def latency_stack(self, label: str = "", split_base: bool = False) -> Stack:
-        """Average read-latency stack in nanoseconds."""
+        """Average read-latency stack in nanoseconds.
+
+        Multi-channel memories return the read-weighted mean of the
+        per-channel stacks (``split_base`` is single-channel only)."""
+        if self.composite:
+            if split_base:
+                self._require_single_channel("latency_stack(split_base=True)")
+            return self.memory.latency_stack(
+                self.base_controller_cycles, label
+            )
         acct = LatencyStackAccountant(
             self.spec, self.base_controller_cycles, split_base,
             auditor=self.auditor,
         )
         return acct.account(
             self.memory.completed_requests,
-            self.memory.log.refresh_windows,
+            refresh_windows_for_latency(self.memory.log),
             self.memory.log.drain_windows,
             label,
         )
@@ -508,13 +547,14 @@ class SimulationResult:
         self, bin_cycles: int, label: str = "", split_base: bool = False
     ) -> StackSeries:
         """Through-time latency stacks."""
+        self._require_single_channel("latency_series")
         acct = LatencyStackAccountant(
             self.spec, self.base_controller_cycles, split_base,
             auditor=self.auditor,
         )
         return acct.account_series(
             self.memory.completed_requests,
-            self.memory.log.refresh_windows,
+            refresh_windows_for_latency(self.memory.log),
             self.memory.log.drain_windows,
             self.total_cycles,
             bin_cycles,
@@ -525,10 +565,12 @@ class SimulationResult:
         self, split_base: bool = False
     ) -> dict[int, Stack]:
         """One latency stack per core, over that core's DRAM reads."""
+        self._require_single_channel("per_core_latency_stacks")
         acct = LatencyStackAccountant(
             self.spec, self.base_controller_cycles, split_base,
             auditor=self.auditor,
         )
+        refresh = refresh_windows_for_latency(self.memory.log)
         by_core: dict[int, list] = {}
         for request in self.memory.completed_requests:
             if request.is_read and not request.forwarded:
@@ -536,7 +578,7 @@ class SimulationResult:
         return {
             core: acct.account(
                 reads,
-                self.memory.log.refresh_windows,
+                refresh,
                 self.memory.log.drain_windows,
                 label=f"core {core}",
             )
@@ -546,6 +588,7 @@ class SimulationResult:
     def per_core_bandwidth(self) -> dict[int, dict[str, float]]:
         """Achieved read/write GB/s per core (prefetch and writebacks
         count toward the core that caused them)."""
+        self._require_single_channel("per_core_bandwidth")
         acct = BandwidthStackAccountant(self.spec, auditor=self.auditor)
         return acct.per_core_achieved(self.memory.log, self.total_cycles)
 
@@ -559,11 +602,13 @@ class SimulationResult:
         stack exactly (see :mod:`repro.stacks.requester`). Multi-channel
         memories are not split per requester yet.
         """
+        self._require_single_channel("per_requester_bandwidth_stacks")
         acct = RequesterBandwidthAccountant(self.spec)
         return acct.account(self.memory.log, self.total_cycles, label)
 
     def per_requester_bandwidth_cycles(self) -> dict[int, dict[str, int]]:
         """Raw per-requester integer cycle counters (conservation tests)."""
+        self._require_single_channel("per_requester_bandwidth_cycles")
         acct = RequesterBandwidthAccountant(self.spec)
         return acct.account_cycles(self.memory.log, self.total_cycles)
 
@@ -571,12 +616,21 @@ class SimulationResult:
         self, label: str = ""
     ) -> dict[int, Stack]:
         """Per-requester latency stacks with interference (ns)."""
+        self._require_single_channel("per_requester_latency_stacks")
         acct = RequesterLatencyAccountant(
             self.spec, self.base_controller_cycles
         )
         return acct.account(
             self.memory.completed_requests, self.memory.log, label
         )
+
+    def _require_single_channel(self, what: str) -> None:
+        if self.composite:
+            raise ConfigurationError(
+                f"{what} is not supported for multi-channel devices yet; "
+                f"use the aggregate bandwidth_stack/latency_stack, or the "
+                f"per-channel methods on result.memory"
+            )
 
     def cycle_stack(self, label: str = "") -> Stack:
         """Merged CPI-style cycle stack over all cores."""

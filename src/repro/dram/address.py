@@ -190,16 +190,53 @@ class AddressMapping:
     def from_name(
         cls, name: str, organization: Organization, channels: int = 1
     ) -> "AddressMapping":
-        """Look up a scheme by name: ``default`` or ``interleaved``."""
-        schemes = {
-            "default": cls.default_scheme,
-            "interleaved": cls.interleaved_scheme,
-        }
-        if name not in schemes:
+        """Look up a scheme by name in the :data:`SCHEMES` registry."""
+        if name not in SCHEMES:
             raise ConfigurationError(
-                f"unknown address scheme {name!r}; expected one of {sorted(schemes)}"
+                f"unknown address scheme {name!r}; expected one of "
+                f"{sorted(SCHEMES)}"
             )
-        return schemes[name](organization, channels)
+        return SCHEMES[name](organization, channels)
+
+
+#: Named address schemes, keyed by ``ControllerConfig.address_scheme``.
+#: Each entry is ``(organization, channels) -> AddressMapping``. The
+#: paper's two schemes are built in; device presets (``repro.devices``)
+#: register theirs through :func:`register_scheme`.
+SCHEMES: dict = {
+    "default": AddressMapping.default_scheme,
+    "interleaved": AddressMapping.interleaved_scheme,
+}
+
+
+def register_scheme(name: str, factory=None):
+    """Register a named address scheme.
+
+    `factory` is ``(organization, channels) -> AddressMapping``; a
+    tuple of field names (most-significant first, system fields added
+    automatically) is also accepted as a shorthand. Usable as a plain
+    call or a decorator. Re-registering an existing name raises.
+    """
+    def _apply(fn):
+        if name in SCHEMES:
+            raise ConfigurationError(
+                f"address scheme {name!r} is already registered"
+            )
+        SCHEMES[name] = fn
+        return fn
+
+    if factory is None:
+        return _apply
+    if isinstance(factory, (tuple, list)):
+        order = tuple(factory)
+
+        def factory(organization, channels=1, _order=order):
+            return AddressMapping(
+                organization, channels,
+                _with_system_fields(_order, organization, channels),
+            )
+
+    return _apply(factory)
 
 
 def _with_system_fields(

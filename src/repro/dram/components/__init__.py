@@ -15,7 +15,7 @@ PAGE_POLICIES       ``page_policy``          ``open`` (default),
 WRITE_DRAIN         ``write_drain``          ``watermark`` (default),
                                              ``burst``
 REFRESH             ``refresh``              ``all-bank`` (default),
-                                             ``none``
+                                             ``none``, ``same-bank``
 ACCOUNTING          ``accounting``           ``event-log`` (default),
                                              ``null``
 ==================  =======================  ==========================
@@ -48,7 +48,11 @@ from repro.dram.components.draining import (
 )
 from repro.dram.components.paging import ClosedPagePolicy, OpenPagePolicy
 from repro.dram.components.qos import BankRegScheduler, WrrScheduler
-from repro.dram.components.refreshing import AllBankRefresh, NoRefresh
+from repro.dram.components.refreshing import (
+    AllBankRefresh,
+    NoRefresh,
+    SameBankRefresh,
+)
 from repro.dram.components.scheduling import FcfsScheduler, FrFcfsScheduler
 from repro.errors import ConfigurationError
 
@@ -73,6 +77,7 @@ WRITE_DRAIN.register("burst")(BurstDrainPolicy)
 REFRESH: ComponentRegistry = ComponentRegistry("refresh policy")
 REFRESH.register("all-bank")(AllBankRefresh)
 REFRESH.register("none")(NoRefresh)
+REFRESH.register("same-bank")(SameBankRefresh)
 
 #: Accounting taps, keyed by ``ControllerConfig.accounting``.
 ACCOUNTING: ComponentRegistry = ComponentRegistry("accounting tap")
@@ -133,6 +138,7 @@ __all__ = [
     "NullTap",
     "OpenPagePolicy",
     "PAGE_POLICIES",
+    "SameBankRefresh",
     "REFRESH",
     "SCHEDULERS",
     "WRITE_DRAIN",

@@ -43,6 +43,13 @@ class EventLog:
     cas_windows: list[tuple[int, int, int]] = field(default_factory=list)
     #: Refresh windows: (start, end).
     refresh_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: Per-bank (same-bank, REFsb) refresh windows: (start, end,
+    #: flat_bank). Only the ``same-bank`` refresh policy appends here;
+    #: it stays empty (and out of the fingerprint) under all-bank
+    #: refresh, keeping historic digests intact.
+    bank_refresh_windows: list[tuple[int, int, int]] = field(
+        default_factory=list
+    )
     #: Blocked-with-pending-work intervals:
     #: (start, end, BlockScope, bank_group, reason).
     blocked: list[tuple[int, int, BlockScope, int, str]] = field(
@@ -118,6 +125,7 @@ class NullTap:
             act_windows=_DiscardList(),
             cas_windows=_DiscardList(),
             refresh_windows=_DiscardList(),
+            bank_refresh_windows=_DiscardList(),
             blocked=_DiscardList(),
             drain_windows=_DiscardList(),
             commands=_DiscardList(),

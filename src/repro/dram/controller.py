@@ -117,6 +117,14 @@ class ControllerConfig:
             between state changes; ``"reference"`` recomputes it every
             step. Results are bit-identical; the reference engine exists
             as the oracle for the golden/differential test layer.
+        device: optional device-preset selector resolved in the
+            :data:`repro.devices.DEVICES` registry (``"ddr4-2400"``,
+            ``"ddr5-4800:subchannels=2"``, ``"lpddr5-6400"``,
+            ``"hbm2"``). The preset supplies `spec` and, where the
+            config still holds its defaults, `refresh` and
+            `address_scheme`; multi-channel presets set
+            :attr:`device_channels` so system builders compose a
+            :class:`~repro.dram.system.MemorySystem`.
     """
 
     spec: TimingSpec = DDR4_2400
@@ -133,8 +141,24 @@ class ControllerConfig:
     write_drain: str = "watermark"
     refresh: str | None = None
     accounting: str = "event-log"
+    device: str | None = None
 
     def __post_init__(self) -> None:
+        if self.device is not None:
+            # Resolve the preset first: it supplies the spec and the
+            # defaults the registry checks below then validate.
+            from repro.devices import DEVICES
+
+            preset = DEVICES.create(self.device)
+            object.__setattr__(self, "spec", preset.spec)
+            if self.refresh is None and preset.refresh != "all-bank":
+                object.__setattr__(self, "refresh", preset.refresh)
+            if (
+                self.address_scheme == "default"
+                and preset.mapping != "default"
+            ):
+                object.__setattr__(self, "address_scheme", preset.mapping)
+            object.__setattr__(self, "_device_channels", preset.channels)
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
@@ -146,6 +170,11 @@ class ControllerConfig:
         components.WRITE_DRAIN.get(self.write_drain)
         components.REFRESH.get(self.resolved_refresh)
         components.ACCOUNTING.get(self.accounting)
+
+    @property
+    def device_channels(self) -> int:
+        """Channels the selected device presents (1 without a device)."""
+        return getattr(self, "_device_channels", 1)
 
     @property
     def resolved_refresh(self) -> str:

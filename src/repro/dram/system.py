@@ -27,7 +27,10 @@ from repro.dram.controller import ControllerConfig, MemoryController
 from repro.errors import ConfigurationError
 from repro.stacks.bandwidth import BandwidthStackAccountant
 from repro.stacks.components import Stack
-from repro.stacks.latency import LatencyStackAccountant
+from repro.stacks.latency import (
+    LatencyStackAccountant,
+    refresh_windows_for_latency,
+)
 
 
 @dataclass(frozen=True)
@@ -71,8 +74,17 @@ class MemorySystem(CompositeMemory):
         return (address >> self._channel_shift) & self._channel_mask
 
     def enqueue(self, request: Request) -> None:
-        """Route a request to its channel."""
-        self.controllers[self.channel_of(request.address)].enqueue(request)
+        """Route a request to its channel.
+
+        The arrival is clamped up to the *target channel's* clock (not
+        the composite max): channels advance unevenly when the driver
+        runs them read-by-read, and clamping to the furthest channel
+        would charge queueing delay that never happened.
+        """
+        mc = self.controllers[self.channel_of(request.address)]
+        if request.arrival < mc.now:
+            request.arrival = mc.now
+        mc.enqueue(request)
 
     # ------------------------------------------------------------------
     # Reliability hooks
@@ -102,6 +114,64 @@ class MemorySystem(CompositeMemory):
         return {
             i: mc.stall_snapshot() for i, mc in enumerate(self.controllers)
         }
+
+    def stall_snapshot(self) -> dict:
+        """Single diagnostic dict (MemoryController-compatible shape).
+
+        Reports the most-stalled channel's snapshot, annotated with the
+        channel index and the per-channel pending counts, so composite
+        memories satisfy the same deadlock-diagnostic contract drivers
+        expect from one controller.
+        """
+        worst = max(
+            range(len(self.controllers)),
+            key=lambda i: self.controllers[i].queued_requests,
+        )
+        snapshot = dict(self.controllers[worst].stall_snapshot())
+        snapshot["channel"] = worst
+        snapshot["channel_pending"] = [
+            mc.pending_requests for mc in self.controllers
+        ]
+        return snapshot
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Install one watchdog across every channel (None to detach).
+
+        Guard compatibility shim: all channels publish heartbeats on
+        the shared bus, so subscribing the watchdog through the first
+        channel (which owns that bus) observes them all. Per-channel
+        watchdogs with independent thresholds remain available via
+        :meth:`attach_watchdogs`.
+        """
+        self.controllers[0].attach_watchdog(watchdog)
+
+    @property
+    def watchdog(self):
+        """The watchdog installed by :meth:`attach_watchdog`, if any."""
+        return self.controllers[0].watchdog
+
+    @property
+    def completed_requests(self) -> list[Request]:
+        """Completed requests of all channels, in finish order."""
+        merged = [
+            r for mc in self.controllers for r in mc.completed_requests
+        ]
+        merged.sort(key=lambda r: r.finish)
+        return merged
+
+    @property
+    def stats(self):
+        """Aggregated :class:`ControllerStats` across channels."""
+        from repro.dram.controller import ControllerStats
+
+        total = ControllerStats()
+        for mc in self.controllers:
+            for name in vars(mc.stats):
+                setattr(
+                    total, name,
+                    getattr(total, name) + getattr(mc.stats, name),
+                )
+        return total
 
     @property
     def peak_bandwidth_gbps(self) -> float:
@@ -141,8 +211,8 @@ class MemorySystem(CompositeMemory):
         for i, mc in enumerate(self.controllers):
             reads = self._latency_reads(mc)
             stacks.append(accountant.account(
-                reads, mc.log.refresh_windows, mc.log.drain_windows,
-                f"{label} ch{i}",
+                reads, refresh_windows_for_latency(mc.log),
+                mc.log.drain_windows, f"{label} ch{i}",
             ))
         return stacks
 
@@ -162,7 +232,8 @@ class MemorySystem(CompositeMemory):
             if not reads:
                 continue
             stacks.append(accountant.account(
-                reads, mc.log.refresh_windows, mc.log.drain_windows
+                reads, refresh_windows_for_latency(mc.log),
+                mc.log.drain_windows,
             ))
             weights.append(len(reads))
         if not stacks:

@@ -104,6 +104,9 @@ class TimingSpec:
     tRFC: int  # refresh cycle time
     tREFI: int  # refresh interval
     tRTRS: int = 2  # rank-to-rank switch
+    #: Same-bank refresh cycle time (DDR5 REFsb). 0 means the grade does
+    #: not specify one; the same-bank refresh policy derives tRFC/2.
+    tRFCsb: int = 0
 
     def __post_init__(self) -> None:
         for name in (
@@ -119,6 +122,38 @@ class TimingSpec:
             raise ConfigurationError("tRRD_L must be >= tRRD_S")
         if self.tRAS + self.tRP > self.tREFI:
             raise ConfigurationError("tREFI too small to ever refresh")
+        # Cross-constraints, checked eagerly so a bad preset fails at
+        # registry/config construction with its name attached rather
+        # than as a protocol anomaly mid-run.
+        if self.tRAS < self.tRCD:
+            raise ConfigurationError(
+                f"{self.name}: tRAS ({self.tRAS}) must be >= tRCD "
+                f"({self.tRCD}) — a row must stay open at least long "
+                f"enough to issue a CAS"
+            )
+        if self.tRFC >= self.tREFI:
+            raise ConfigurationError(
+                f"{self.name}: tRFC ({self.tRFC}) must be < tREFI "
+                f"({self.tREFI}) or the device does nothing but refresh"
+            )
+        if self.tRFCsb < 0 or self.tRFCsb > self.tRFC:
+            raise ConfigurationError(
+                f"{self.name}: tRFCsb ({self.tRFCsb}) must be in "
+                f"[0, tRFC={self.tRFC}]"
+            )
+        org = self.organization
+        burst = org.line_bytes // (org.bus_bytes * org.data_rate)
+        if burst < 1:
+            raise ConfigurationError(
+                f"{self.name}: bus moves {org.bus_bytes * org.data_rate} "
+                f"bytes/cycle, more than one {org.line_bytes}-byte line — "
+                f"burst/prefetch lengths are inconsistent"
+            )
+        if self.tCCD_S < burst:
+            raise ConfigurationError(
+                f"{self.name}: tCCD_S ({self.tCCD_S}) must cover the "
+                f"{burst}-cycle burst or back-to-back CAS data overlaps"
+            )
 
     # ------------------------------------------------------------------
     # Derived quantities. The three on the simulator's inner loop are

@@ -17,7 +17,10 @@ Checked rules (per rank unless noted):
 * tRRD_L / tRRD_S and tFAW between ACTs;
 * write→read (tCWL+BL+tWTR_{L,S}) and read→write bus-turnaround spacing;
 * data-bus occupancy: bursts never overlap, tRTRS between ranks (channel);
-* refresh: all banks precharged at REF, nothing issues during tRFC.
+* refresh: all banks precharged at REF, nothing issues during tRFC;
+* same-bank refresh (REFsb, recorded with ``bank_group >= 0``): the
+  target bank precharged (tRP honored), nothing issues *to that bank*
+  during tRFCsb — the rest of the channel keeps running.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ class _BankState:
     last_pre: int = _NEVER
     last_read: int = _NEVER
     last_write_data_end: int = _NEVER
+    refresh_until: int = 0  # same-bank refresh (tRFCsb) fence
 
 
 @dataclass
@@ -102,6 +106,18 @@ class TimingValidator:
         handler = handlers.get(command.cmd_type)
         if handler is None:
             return
+        if (
+            command.cmd_type is CommandType.REFRESH
+            and command.bank_group >= 0
+        ):
+            # Same-bank refresh (REFsb): scoped to one bank of one rank,
+            # unlike the channel-wide all-bank REF (bank_group == -1).
+            rank = self._rank(command.rank)
+            if command.issue < rank.refresh_until:
+                self._fail(command, "REFsb during all-bank refresh (tRFC)")
+            self._check_refresh_sb(command, rank)
+            self.commands_checked += 1
+            return
         if command.cmd_type in (
             CommandType.PRECHARGE_ALL, CommandType.REFRESH
         ):
@@ -133,6 +149,10 @@ class TimingValidator:
         spec = self.spec
         t = command.issue
         bank = rank.bank(command.bank_group, command.bank)
+        if t < bank.refresh_until:
+            self._fail(
+                command, f"tRFCsb: bank refreshing until {bank.refresh_until}"
+            )
         if bank.open_row is not None:
             self._fail(command, "ACT to an open bank")
         if t < bank.last_pre + spec.tRP:
@@ -156,6 +176,10 @@ class TimingValidator:
         spec = self.spec
         t = command.issue
         bank = rank.bank(command.bank_group, command.bank)
+        if t < bank.refresh_until:
+            self._fail(
+                command, f"tRFCsb: bank refreshing until {bank.refresh_until}"
+            )
         if bank.open_row is None:
             self._fail(command, "PRE to a precharged bank")
         if t < bank.last_act + spec.tRAS:
@@ -174,6 +198,10 @@ class TimingValidator:
         t = command.issue
         is_write = command.cmd_type is CommandType.WRITE
         bank = rank.bank(command.bank_group, command.bank)
+        if t < bank.refresh_until:
+            self._fail(
+                command, f"tRFCsb: bank refreshing until {bank.refresh_until}"
+            )
         if bank.open_row is None:
             self._fail(command, "CAS to a precharged bank")
         if command.row >= 0 and bank.open_row != command.row:
@@ -270,6 +298,27 @@ class TimingValidator:
             self._fail(command, f"REF while data in flight until {self._bus_free}")
         rank.refresh_until = t + self.spec.tRFC
 
+    def _check_refresh_sb(self, command: Command, rank: _RankState) -> None:
+        """Same-bank refresh: only the target bank is fenced.
+
+        The data bus is deliberately *not* checked — other banks keep
+        transferring during a REFsb; that is the point of the policy.
+        """
+        spec = self.spec
+        t = command.issue
+        bank = rank.bank(command.bank_group, command.bank)
+        if bank.open_row is not None:
+            self._fail(command, "REFsb with target bank open")
+        if t < bank.last_pre + spec.tRP:
+            self._fail(command, f"tRP before REFsb: PRE at {bank.last_pre}")
+        if t < bank.refresh_until:
+            self._fail(
+                command,
+                f"REFsb during bank refresh until {bank.refresh_until}",
+            )
+        tsb = spec.tRFCsb if spec.tRFCsb > 0 else max(1, spec.tRFC // 2)
+        bank.refresh_until = t + tsb
+
 
 def validate_controller(controller) -> int:
     """Validate a finished controller's recorded command stream.
@@ -279,6 +328,11 @@ def validate_controller(controller) -> int:
     (the controller's precharge-all before REF is recorded through bank
     state, not as separate commands), so the validator learns about them
     from the REF record.
+
+    The stream is stably sorted by issue time before validation: a
+    same-bank refresh is scheduled ahead of its start time while the
+    rest of the channel keeps issuing, so the *recorded* order can
+    differ from issue order even though the timeline is valid.
     """
     from repro.errors import ConfigurationError
 
@@ -288,4 +342,5 @@ def validate_controller(controller) -> int:
             "(set keep_command_trace=True)"
         )
     validator = TimingValidator(controller.spec)
-    return validator.validate(controller.log.commands)
+    commands = sorted(controller.log.commands, key=lambda c: c.issue)
+    return validator.validate(commands)

@@ -94,6 +94,7 @@ def paper_system(
     core: CoreConfig | None = None,
     scheduling: str = "fr-fcfs",
     requesters: int | tuple[int, ...] | None = None,
+    device: str | None = None,
 ) -> SystemConfig:
     """The paper's setup: DDR4-2400, FR-FCFS, Skylake-like cores.
 
@@ -111,9 +112,19 @@ def paper_system(
     spreads the cores round-robin over N domains (core i -> i % N);
     ``None`` keeps the single-requester behaviour.
 
+    `device` swaps the DDR4-2400 timings for a preset from the
+    :data:`repro.devices.DEVICES` registry (``"ddr5-4800"``,
+    ``"lpddr5-6400"``, ``"hbm2:pseudo_channels=8"``, ... — see
+    docs/devices.md); ``None`` keeps the paper's DDR4-2400.
+
     Every knob is validated eagerly here (naming the bad field) so a
     sweep over many points fails at construction, not mid-run.
     """
+    # Registers the device-specific address schemes (e.g. "lpddr5") as
+    # an import side effect, so scheme validation below sees them.
+    import repro.devices  # noqa: F401
+    from repro.dram.address import SCHEMES
+
     if not isinstance(cores, int) or isinstance(cores, bool) or cores < 1:
         raise ConfigurationError(
             f"paper_system(cores=...) must be a positive int, got {cores!r}"
@@ -123,10 +134,10 @@ def paper_system(
             f"paper_system(write_queue_capacity=...) must be >= 1, "
             f"got {write_queue_capacity!r}"
         )
-    if address_scheme not in ("default", "interleaved"):
+    if address_scheme not in SCHEMES:
         raise ConfigurationError(
-            f"paper_system(address_scheme=...) must be 'default' or "
-            f"'interleaved', got {address_scheme!r}"
+            f"paper_system(address_scheme=...) must be one of "
+            f"{sorted(SCHEMES)}, got {address_scheme!r}"
         )
     if isinstance(requesters, bool):
         raise ConfigurationError(
@@ -149,6 +160,7 @@ def paper_system(
         scheduling=scheduling,
         address_scheme=address_scheme,
         write_queue=WriteQueueConfig(capacity=write_queue_capacity),
+        device=device,
     )
     return SystemConfig(
         cores=cores,

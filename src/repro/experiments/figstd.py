@@ -1,0 +1,95 @@
+"""Cross-standard figure: one workload, four memory standards.
+
+Not a figure from the paper — an extension of its stack methodology
+across the device library (docs/devices.md): the same random-access
+workload runs against DDR4-2400 (the paper's configuration), DDR5-4800
+(two sub-channels, same-bank refresh), LPDDR5-6400 (16n prefetch,
+bank-group-less) and an HBM2-style stack (eight pseudo-channels).
+
+Each standard gets one bandwidth stack (summing to *that device's*
+aggregate peak, so the bars are different heights by construction) and
+one latency stack. Reading them together shows *why* the standards
+differ, not just that they do:
+
+* DDR5's sub-channels halve the per-channel width, so a fixed-size
+  line occupies the data bus longer, but two channels' worth of bank
+  machinery hides more precharge/activate time;
+* LPDDR5's long analog latencies show up directly in the latency
+  stack's base component, and its narrow bus makes the same traffic
+  far more bandwidth-bound;
+* HBM's width turns the workload latency-bound: most of the bandwidth
+  stack is idle while the latency stack stays short.
+
+The extra payload carries a per-standard summary table (peak GB/s,
+achieved GB/s, utilization, average read latency, run cycles).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.output import emit
+from repro.experiments.runner import FigureResult, run_synthetic
+
+#: (label, device selector) pairs, in figure order.
+STANDARDS = (
+    ("ddr4-2400", "ddr4-2400"),
+    ("ddr5-4800", "ddr5-4800"),
+    ("lpddr5-6400", "lpddr5-6400"),
+    ("hbm2", "hbm2"),
+)
+
+#: Workload shared by every standard (the paper's random pattern, with
+#: enough stores to exercise write drains on every device).
+PATTERN = "random"
+CORES = 2
+STORE_FRACTION = 0.2
+
+
+def run(scale: str = "ci") -> FigureResult:
+    """Regenerate this figure's data at the given scale."""
+    figure = FigureResult("figstd")
+    summary: dict[str, dict] = {}
+    for label, device in STANDARDS:
+        result = run_synthetic(
+            PATTERN,
+            cores=CORES,
+            store_fraction=STORE_FRACTION,
+            scale=scale,
+            device=device,
+        )
+        bandwidth = result.bandwidth_stack(label)
+        latency = result.latency_stack(label)
+        figure.bandwidth.append(bandwidth)
+        figure.latency.append(latency)
+        peak = bandwidth.total
+        achieved = bandwidth["read"] + bandwidth["write"]
+        summary[label] = {
+            "peak_gbps": peak,
+            "achieved_gbps": achieved,
+            "utilization": achieved / peak if peak else 0.0,
+            "read_latency_ns": latency.total,
+            "total_cycles": result.total_cycles,
+        }
+    figure.extra["standards"] = summary
+    figure.extra["standards_table"] = "\n".join(
+        f"{label:<12} peak={row['peak_gbps']:7.1f}  "
+        f"achieved={row['achieved_gbps']:7.2f}  "
+        f"util={row['utilization']:6.1%}  "
+        f"lat={row['read_latency_ns']:7.1f}ns  "
+        f"cycles={row['total_cycles']}"
+        for label, row in summary.items()
+    )
+    return figure
+
+
+def main(scale: str = "paper", output_dir: str = "results") -> FigureResult:
+    """Print the figure as tables and write SVGs to `output_dir`."""
+    figure = run(scale)
+    emit(
+        figure, output_dir,
+        title="Cross-standard: one workload on DDR4 / DDR5 / LPDDR5 / HBM",
+    )
+    return figure
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -66,6 +66,7 @@ def run_synthetic(
     scheduling: str = "fr-fcfs",
     core_engine: str | None = None,
     requesters: int | tuple[int, ...] | None = None,
+    device: str | None = None,
 ) -> SimulationResult:
     """Run one synthetic configuration through the full pipeline.
 
@@ -82,6 +83,10 @@ def run_synthetic(
     :func:`~repro.experiments.config.paper_system`; pair it with a
     ``scheduling`` QoS policy (``"wrr:..."``/``"bank-reg:..."``) for
     multi-requester interference runs.
+
+    `device` selects a memory device preset from the
+    :data:`repro.devices.DEVICES` registry (None = the paper's
+    DDR4-2400); see :func:`~repro.experiments.config.paper_system`.
     """
     scale = get_scale(scale)
     # The scaled (GAP) hierarchy: with the paper's full 11 MB LLC, runs
@@ -99,6 +104,7 @@ def run_synthetic(
         gap=True,
         core=None if core_engine is None else CoreConfig(engine=core_engine),
         requesters=requesters,
+        device=device,
     )
     workload = make_pattern(pattern, SyntheticConfig(
         accesses_per_core=scale.synthetic_accesses,
@@ -185,10 +191,12 @@ def run_gap(
     guard=None,
     scheduling: str = "fr-fcfs",
     core_engine: str | None = None,
+    device: str | None = None,
 ) -> tuple[SimulationResult, GapWorkload]:
     """Run one GAP kernel configuration; returns (result, workload).
 
-    `guard` and `core_engine` are forwarded as in `run_synthetic`.
+    `guard`, `core_engine` and `device` are forwarded as in
+    `run_synthetic`.
     """
     scale = get_scale(scale)
     params = {}
@@ -212,6 +220,7 @@ def run_gap(
         write_queue_capacity=write_queue_capacity,
         gap=True,
         core=None if core_engine is None else CoreConfig(engine=core_engine),
+        device=device,
     )
     system = CpuSystem(config)
     result = system.run(workload.traces(cores), guard=guard)

@@ -43,6 +43,8 @@ class SweepPoint:
     scheduling: str = "fr-fcfs"
     #: Requester domains the cores are spread over (1 = single domain).
     requesters: int = 1
+    #: Memory device selector (see :data:`repro.devices.DEVICES`).
+    device: str = "ddr4-2400"
 
     @property
     def label(self) -> str:
@@ -56,6 +58,8 @@ class SweepPoint:
             label += f" {self.scheduling}"
         if self.requesters != 1:
             label += f" q{self.requesters}"
+        if self.device != "ddr4-2400":
+            label += f" {self.device}"
         return label
 
 
@@ -161,7 +165,7 @@ class SweepResult:
         """The sweep as a CSV table."""
         lines = [
             "pattern,cores,store_fraction,page_policy,address_scheme,"
-            "scheduling,requesters,"
+            "scheduling,requesters,device,"
             "achieved_gbps,avg_latency_ns,page_hit_rate"
         ]
         for record in self.records:
@@ -169,7 +173,7 @@ class SweepResult:
             lines.append(
                 f"{p.pattern},{p.cores},{p.store_fraction},"
                 f"{p.page_policy},{p.address_scheme},"
-                f"{p.scheduling},{p.requesters},"
+                f"{p.scheduling},{p.requesters},{p.device},"
                 f"{record.achieved_gbps:.4f},{record.avg_latency_ns:.2f},"
                 f"{record.page_hit_rate:.4f}"
             )
@@ -203,13 +207,14 @@ def grid(
     address_schemes: Iterable[str] = ("default",),
     schedulings: Iterable[str] = ("fr-fcfs",),
     requesters: Iterable[int] = (1,),
+    devices: Iterable[str] = ("ddr4-2400",),
 ) -> list[SweepPoint]:
     """Cartesian product of the given axes."""
     return [
         SweepPoint(*combo)
         for combo in itertools.product(
             patterns, cores, store_fractions, page_policies,
-            address_schemes, schedulings, requesters,
+            address_schemes, schedulings, requesters, devices,
         )
     ]
 
@@ -392,6 +397,9 @@ def _run_point(
                 requesters=(
                     point.requesters if point.requesters > 1 else None
                 ),
+                device=(
+                    point.device if point.device != "ddr4-2400" else None
+                ),
             )
         except ReproError as error:
             if attempts > retries:
@@ -434,12 +442,14 @@ def point_job(
         "page_policy": point.page_policy,
         "address_scheme": point.address_scheme,
     }
-    # Non-default QoS axes only: default points keep their historical
+    # Non-default axes only: default points keep their historical
     # content digest, so pre-existing caches stay warm.
     if point.scheduling != "fr-fcfs":
         config["scheduling"] = point.scheduling
     if point.requesters != 1:
         config["requesters"] = point.requesters
+    if point.device != "ddr4-2400":
+        config["device"] = point.device
     return Job(
         kind="synthetic",
         config=config,

@@ -8,11 +8,16 @@ running to completion produces *bit-identical* stacks to an
 uninterrupted run — the checkpoint is taken between main-loop
 iterations, where the loop carries no hidden state.
 
-File format (version 1)::
+File format (version 2)::
 
     8 bytes   magic  b"REPROCKP"
     2 bytes   format version, big-endian
     rest      pickle payload: {"meta": {...}, "system": CpuSystem}
+
+The version covers the pickled state schema, not just the framing:
+v2 systems carry the device-library fields (composite multi-channel
+memory, ``_composite``), so v1 payloads would restore into objects
+missing attributes and must be rejected up front.
 
 ``meta`` records the cycle, next request id and package version; the
 request-id sequence is restored on load so requests created after a
@@ -29,7 +34,7 @@ from repro.dram.commands import request_id_state, restore_request_id_state
 from repro.errors import CheckpointError
 
 CHECKPOINT_MAGIC = b"REPROCKP"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 class ReplayableTrace:

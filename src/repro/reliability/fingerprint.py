@@ -48,6 +48,13 @@ def event_log_digest(log) -> str:
     for name in _LOG_FIELDS:
         h.update(name.encode())
         h.update(repr(getattr(log, name)).encode())
+    # Same-bank refresh windows are hashed only when present so every
+    # all-bank (historic) fixture digest is unchanged by the field's
+    # existence.
+    bank_refresh = getattr(log, "bank_refresh_windows", None)
+    if bank_refresh:
+        h.update(b"bank_refresh_windows")
+        h.update(repr(bank_refresh).encode())
     return h.hexdigest()
 
 

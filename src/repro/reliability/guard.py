@@ -71,7 +71,8 @@ class ReliabilityGuard:
         self._deadline: float | None = None
         self._tick_count = 0
         self._last_audit_cycle = 0
-        self._audit_cursors: dict[str, int] = {}
+        #: Per-channel audit cursors: channel key -> event-list cursors.
+        self._audit_cursors: dict[str, dict[str, int]] = {}
 
     @classmethod
     def default(cls) -> "ReliabilityGuard":
@@ -114,8 +115,13 @@ class ReliabilityGuard:
             and cycle - self._last_audit_cycle >= self.audit_interval_cycles
         ):
             self._last_audit_cycle = cycle
+            self._audit_logs(system.memory)
+
+    def _audit_logs(self, memory) -> None:
+        """Incremental log audit, per channel for composite memories."""
+        for key, log in _channel_logs(memory):
             self.auditor.audit_log_increment(
-                system.memory.log, self._audit_cursors
+                log, self._audit_cursors.setdefault(key, {})
             )
 
     def finish(self, system, total_cycles: int) -> None:
@@ -123,24 +129,36 @@ class ReliabilityGuard:
         ``final_audit`` is set) check the exact stack invariants."""
         if self.auditor is None:
             return
-        self.auditor.audit_log_increment(
-            system.memory.log, self._audit_cursors
-        )
+        self._audit_logs(system.memory)
         if not self.final_audit:
             return
-        self.auditor.audit_bandwidth(
-            system.memory.spec,
-            system.memory.log,
-            total_cycles,
-            bin_cycles=self.audit_interval_cycles,
+        from repro.stacks.latency import refresh_windows_for_latency
+
+        base_cycles = (
+            system.config.core.noc_request_cycles
+            + system.config.core.noc_response_cycles
         )
-        self.auditor.audit_latency(
-            system.memory.spec,
-            system.memory.completed_requests,
-            system.memory.log.refresh_windows,
-            system.memory.log.drain_windows,
-            base_controller_cycles=(
-                system.config.core.noc_request_cycles
-                + system.config.core.noc_response_cycles
-            ),
-        )
+        channels = getattr(system.memory, "channels", None) or [system.memory]
+        for mc in channels:
+            self.auditor.audit_bandwidth(
+                mc.spec,
+                mc.log,
+                total_cycles,
+                bin_cycles=self.audit_interval_cycles,
+            )
+            self.auditor.audit_latency(
+                mc.spec,
+                mc.completed_requests,
+                refresh_windows_for_latency(mc.log),
+                mc.log.drain_windows,
+                base_controller_cycles=base_cycles,
+            )
+
+
+def _channel_logs(memory) -> list:
+    """(cursor key, event log) per channel; one entry for a single
+    controller, so single-channel cursor keys stay unchanged."""
+    channels = getattr(memory, "channels", None)
+    if channels is None:
+        return [("", memory.log)]
+    return [(f"ch{i}", ch.log) for i, ch in enumerate(channels)]

@@ -114,7 +114,8 @@ class SyntheticExecutor:
     keyword arguments: ``pattern`` (required), ``cores``,
     ``store_fraction``, ``page_policy``, ``address_scheme``,
     ``scheduling`` (may carry params, e.g. ``"wrr:2,1"``),
-    ``requesters``, ``write_queue_capacity``.
+    ``requesters``, ``write_queue_capacity``, ``device`` (a
+    :data:`repro.devices.DEVICES` selector, e.g. ``"ddr5-4800"``).
     """
 
     cacheable = True

@@ -223,27 +223,28 @@ class BandwidthStackAccountant:
         # independent of the bank count. Events are packed into single
         # ints (time in the high bits, then slot, then a start flag) so
         # sorting and scanning stay allocation-free.
-        shift = (6 * n).bit_length()
+        shift = (8 * n).bit_length()
         events: list[int] = []
         append = events.append
         for windows, kind in (
             (log.pre_windows, 0),
             (log.act_windows, 1),
             (log.cas_windows, 2),
+            (getattr(log, "bank_refresh_windows", ()), 3),
         ):
             # `bank % n` matches the list indexing the per-bank cursors
             # historically used: offline-reconstructed logs record
             # precharge-all commands with a negative flat bank (see
             # repro.trace.offline), which wrapped onto a high bank.
             for s, e, bank in windows:
-                slot2 = ((bank % n) * 3 + kind) << 1
+                slot2 = ((bank % n) * 4 + kind) << 1
                 append((s << shift) | slot2 | 1)
                 append((e << shift) | slot2)
         events.sort()
         num_events = len(events)
-        counts = [0] * (3 * n)
-        bank_state = [0] * n  # 0 idle, 1 pre, 2 act, 3 cas
-        tallies = [n, 0, 0, 0]  # banks per state
+        counts = [0] * (4 * n)
+        bank_state = [0] * n  # 0 idle, 1 pre, 2 act, 3 cas, 4 refresh
+        tallies = [n, 0, 0, 0, 0]  # banks per state
         ptr = 0
 
         for gap_start, gap_end in gaps:
@@ -269,9 +270,11 @@ class BandwidthStackAccountant:
                         counts[slot] += 1
                     else:
                         counts[slot] -= 1
-                    bank = slot // 3
-                    base = bank * 3
-                    if counts[base]:
+                    bank = slot // 4
+                    base = bank * 4
+                    if counts[base + 3]:
+                        state = 4
+                    elif counts[base]:
                         state = 1
                     elif counts[base + 1]:
                         state = 2
@@ -286,7 +289,7 @@ class BandwidthStackAccountant:
                         tallies[state] += 1
                 self._classify_segment(
                     s, e, refresh, blocked,
-                    tallies[1], tallies[2], tallies[3], bpg, add,
+                    tallies[1], tallies[2], tallies[3], tallies[4], bpg, add,
                 )
 
         # --- 3. Exactness check ----------------------------------------
@@ -308,24 +311,28 @@ class BandwidthStackAccountant:
 
     def _classify_segment(
         self, s: int, e: int, refresh: _WindowCursor, blocked: _ScopedCursor,
-        n_pre: int, n_act: int, n_cas: int, banks_per_group: int,
-        add,
+        n_pre: int, n_act: int, n_cas: int, n_ref: int,
+        banks_per_group: int, add,
     ) -> None:
         """Attribute one channel-idle segment [s, e).
 
-        `n_pre`/`n_act`/`n_cas` count banks precharging, activating, and
-        with a CAS in flight at `s`, with the per-bank pre > act > cas
-        priority already applied by the caller's event sweep.
+        `n_pre`/`n_act`/`n_cas`/`n_ref` count banks precharging,
+        activating, with a CAS in flight, and in per-bank (same-bank)
+        refresh at `s`, with the per-bank refresh > pre > act > cas
+        priority already applied by the caller's event sweep. A
+        channel-wide (all-bank) refresh window still takes the whole
+        segment; per-bank refresh takes only its bank's 1/n share.
         """
         n = self.num_banks
         if refresh.cover(s):
             add("refresh", s, e, n)
             return
-        if n_pre or n_act:
+        if n_ref or n_pre or n_act:
+            add("refresh", s, e, n_ref)
             add("precharge", s, e, n_pre)
             add("activate", s, e, n_act)
             add("constraints", s, e, n_cas)
-            add("bank_idle", s, e, n - n_pre - n_act - n_cas)
+            add("bank_idle", s, e, n - n_ref - n_pre - n_act - n_cas)
             return
         payload = blocked.covering_payload(s)
         if payload is not None:

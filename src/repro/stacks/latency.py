@@ -243,6 +243,35 @@ def _repair_parts(parts: dict[str, float]) -> None:
         parts[victim] -= clamped
 
 
+def refresh_windows_for_latency(log) -> list[tuple[int, int]]:
+    """The refresh windows a latency stack should account from `log`.
+
+    Under all-bank refresh this returns ``log.refresh_windows``
+    untouched (bit-identical to historic accounting). Same-bank
+    refresh (``bank_refresh_windows`` non-empty) adds the per-bank
+    windows, coalesced with any channel-wide ones — overlapping
+    windows must merge or the interval arithmetic would double count.
+    A read waiting while *another* bank refreshes is attributed to
+    ``refresh`` too; that is the same channel-level approximation the
+    all-bank model makes, and the residual ``queue`` component keeps
+    each read's decomposition exact either way.
+    """
+    bank = getattr(log, "bank_refresh_windows", None)
+    if not bank:
+        return log.refresh_windows
+    merged = sorted(
+        list(log.refresh_windows) + [(s, e) for s, e, __ in bank]
+    )
+    out: list[tuple[int, int]] = []
+    for s, e in merged:
+        if out and s <= out[-1][1]:
+            if e > out[-1][1]:
+                out[-1] = (out[-1][0], e)
+        else:
+            out.append((s, e))
+    return out
+
+
 def latency_stack_from_requests(
     requests: list[Request],
     log,
@@ -253,5 +282,5 @@ def latency_stack_from_requests(
     """Convenience wrapper taking the controller's event log directly."""
     accountant = LatencyStackAccountant(spec, base_controller_cycles)
     return accountant.account(
-        requests, log.refresh_windows, log.drain_windows, label
+        requests, refresh_windows_for_latency(log), log.drain_windows, label
     )

@@ -6,11 +6,11 @@ import pytest
 
 from repro.dram import (
     ControllerConfig,
-    DDR4_2400,
     MemoryController,
     Request,
     RequestType,
 )
+from repro.dram.timing import DDR4_2400
 
 
 def pytest_addoption(parser):

@@ -218,7 +218,8 @@ class TestClosedLoopConformance:
 
 
 def ref(t, rank=0):
-    return Command(CommandType.REFRESH, t, rank, 0, 0)
+    # All-bank REF: bank_group == -1 (bank_group >= 0 records a REFsb).
+    return Command(CommandType.REFRESH, t, rank, -1, -1)
 
 
 class TestRefreshRules:

@@ -1,0 +1,56 @@
+"""Golden fingerprints for the device library.
+
+Two guarantees:
+
+* **Bit identity** — selecting ``device="ddr4-2400"`` reproduces the
+  pre-registry behaviour exactly: the run is checked against the same
+  committed fixture as the deviceless scenario, which was generated
+  *before* the registry existed and is never regenerated here.
+* **Per-standard pinning** — one fixture per non-DDR4 standard locks
+  the DDR5 / LPDDR5 / HBM timing models bit-for-bit, so preset or
+  composite-channel changes show up as pointed fingerprint diffs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_synthetic
+
+from tests.golden.test_golden_fixtures import GOLDEN_SCALE
+
+
+def test_ddr4_device_matches_the_pre_registry_fixture(golden):
+    # Same scenario and fixture name as test_sequential_read_only —
+    # the registry path must hit the very fingerprint committed before
+    # devices existed.
+    result = run_synthetic(
+        "sequential", cores=2, scale=GOLDEN_SCALE, guard=False,
+        device="ddr4-2400",
+    )
+    golden("synthetic-sequential-2c", result)
+
+
+def test_ddr5_sequential(golden):
+    result = run_synthetic(
+        "sequential", cores=2, scale=GOLDEN_SCALE, guard=False,
+        device="ddr5-4800",
+    )
+    fp = golden("device-ddr5-4800-sequential-2c", result)
+    assert fp["counts"]["dram_reads"] > 1_000
+
+
+def test_lpddr5_sequential(golden):
+    result = run_synthetic(
+        "sequential", cores=2, scale=GOLDEN_SCALE, guard=False,
+        device="lpddr5-6400",
+    )
+    fp = golden("device-lpddr5-6400-sequential-2c", result)
+    assert fp["counts"]["dram_reads"] > 1_000
+
+
+def test_hbm2_sequential(golden):
+    result = run_synthetic(
+        "sequential", cores=2, scale=GOLDEN_SCALE, guard=False,
+        device="hbm2",
+    )
+    fp = golden("device-hbm2-sequential-2c", result)
+    assert fp["counts"]["dram_reads"] > 1_000

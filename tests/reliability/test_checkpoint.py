@@ -14,6 +14,7 @@ from repro.experiments.runner import resume_run, run_gap, run_synthetic
 from repro.reliability.auditor import InvariantAuditor
 from repro.reliability.checkpoint import (
     CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
     CheckpointManager,
     ReplayableTrace,
     latest_checkpoint,
@@ -150,7 +151,7 @@ class TestFileFormat:
 
     def test_corrupt_payload(self, tmp_path):
         path = tmp_path / "garbage.repro"
-        path.write_bytes(CHECKPOINT_MAGIC + (1).to_bytes(2, "big") + b"junk")
+        path.write_bytes(CHECKPOINT_MAGIC + CHECKPOINT_VERSION.to_bytes(2, "big") + b"junk")
         with pytest.raises(CheckpointError, match="corrupt"):
             load_checkpoint(str(path))
 

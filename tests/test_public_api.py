@@ -27,7 +27,9 @@ class TestCoreArchitecture:
         )
         assert components.PAGE_POLICIES.names() == ("open", "closed")
         assert components.WRITE_DRAIN.names() == ("watermark", "burst")
-        assert components.REFRESH.names() == ("all-bank", "none")
+        assert components.REFRESH.names() == (
+            "all-bank", "none", "same-bank"
+        )
         assert components.ACCOUNTING.names() == ("event-log", "null")
 
     def test_memory_interface_satisfied(self):
@@ -54,8 +56,45 @@ class TestEntryPoints:
 
         for name in (
             "fig2", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
-            "figqos",
+            "figqos", "figstd",
         ):
             module = importlib.import_module(f"repro.experiments.{name}")
             assert callable(module.run)
             assert callable(module.main)
+
+
+class TestDeviceLibrary:
+    def test_all_names_resolve(self):
+        import repro.devices
+
+        for name in repro.devices.__all__:
+            assert hasattr(repro.devices, name), name
+
+    def test_registry_holds_every_standard(self):
+        from repro.devices import DEVICES
+
+        assert DEVICES.names() == (
+            "ddr4-2400", "ddr4-3200", "ddr5-4800", "lpddr5-6400", "hbm2",
+        )
+
+    def test_timing_constants_live_in_the_timing_module(self):
+        # The canonical import path; no deprecation machinery involved.
+        from repro.dram.timing import DDR4_2400, DDR4_3200, DDR5_4800
+
+        for spec in (DDR4_2400, DDR4_3200, DDR5_4800):
+            assert spec.name
+
+    def test_dram_namespace_aliases_are_deprecated(self):
+        import warnings
+
+        import repro.dram
+
+        for name in ("DDR4_2400", "DDR4_3200", "DDR5_4800"):
+            assert name in repro.dram.__all__
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                try:
+                    getattr(repro.dram, name)
+                except DeprecationWarning:
+                    continue
+                raise AssertionError(f"{name} did not warn")
