@@ -10,12 +10,16 @@ Usage::
 Measures ``fig2.run(scale="ci")`` (the benchmark the hot-loop overhauls
 were tuned on: 8 runs, sequential/random × 1–8 cores, plus full stack
 accounting) and writes the result to ``BENCH_PR5.json`` next to the
-committed baseline. The wall-clock number is the best of two back-to-back
-runs (the second reuses the memoized trace blocks — deliberately part of
-the system under test). A third, cProfile-instrumented run attributes
-time to coarse phases — DRAM controller, CPU core model, stack
-accounting, workload generation — so a regression's location is visible
-from the JSON without re-profiling. Exit status:
+committed baseline. The wall-clock number is the best of three
+back-to-back runs (later runs reuse the memoized trace blocks —
+deliberately part of the system under test); the median is recorded
+alongside it so the JSON shows the noise floor, not just the lucky run.
+An extra cProfile-instrumented run attributes time to coarse phases —
+DRAM controller, CPU core model, stack accounting, workload generation —
+so a regression's location is visible from the JSON without
+re-profiling. The same measurement is also recorded to
+``BENCH_PR10.json`` against the packed-engine wall-clock target
+(see docs/performance.md). Exit status:
 
 * 0 — within 10% of baseline (or faster);
 * 0 with a warning — 10–25% slower;
@@ -33,6 +37,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -43,6 +48,12 @@ RESULT_FILE = REPO_ROOT / "BENCH_PR5.json"
 #: thresholds; DDR5/LPDDR5/HBM composite runs, so it moves with the
 #: multi-channel path rather than the single-controller hot loop).
 STD_RESULT_FILE = REPO_ROOT / "BENCH_PR9.json"
+#: The packed-engine record: the same fig2(ci) measurement, reported
+#: against the PR 10 wall-clock target rather than the regression
+#: baseline. Informational — the regression gate stays BENCH_PR5.json.
+PR10_RESULT_FILE = REPO_ROOT / "BENCH_PR10.json"
+#: PR 10's aspirational fig2(ci) target (best-of-N min, fresh process).
+PR10_TARGET_SECONDS = 5.0
 
 WARN_SLOWDOWN = 0.10
 FAIL_SLOWDOWN = 0.25
@@ -50,8 +61,9 @@ FAIL_SLOWDOWN = 0.25
 #: machine the original baseline was taken on; kept for the speedup
 #: report only.
 SEED_SECONDS = 32.3
-#: Back-to-back timed runs; the best is gated (noise robustness).
-TIMED_RUNS = 2
+#: Back-to-back timed runs; the best is gated (noise robustness) and
+#: the median is recorded next to it as the honest central estimate.
+TIMED_RUNS = 3
 #: Worker count the measurement runs on. The benchmark is deliberately
 #: serial and in-process (it times the simulator hot loop, not the
 #: execution service), but the count is recorded in the JSON so a
@@ -112,8 +124,8 @@ def measure_figstd() -> tuple[float, list[float], str]:
     return min(runs), runs, digest
 
 
-def profile_phases() -> dict:
-    """One instrumented fig2(ci) run, bucketed into coarse phases.
+def profile_phases(figure: str = "fig2") -> dict:
+    """One instrumented figure run, bucketed into coarse phases.
 
     Returns fractions of profiled in-Python time per bucket plus the
     profiled total. Fractions are the stable signal: cProfile's
@@ -122,13 +134,14 @@ def profile_phases() -> dict:
     every bucket roughly alike.
     """
     import cProfile
+    import importlib
     import pstats
 
-    from repro.experiments import fig2
+    module = importlib.import_module(f"repro.experiments.{figure}")
 
     profile = cProfile.Profile()
     profile.enable()
-    fig2.run(scale="ci")
+    module.run(scale="ci")
     profile.disable()
 
     totals = {name: 0.0 for name, __ in PHASE_BUCKETS}
@@ -203,8 +216,9 @@ def gate_and_record(
         "benchmark": label,
         "baseline_seconds": round(baseline, 2),
         "measured_seconds": round(elapsed, 2),
+        "median_seconds": round(statistics.median(runs), 2),
         "timed_runs": [round(r, 2) for r in runs],
-        "timing_protocol": f"best-of-{TIMED_RUNS}",
+        "timing_protocol": f"best-of-{TIMED_RUNS} (median recorded)",
         "fingerprint": baseline_digest,
         "workers": WORKERS,
         "status": status,
@@ -246,6 +260,45 @@ def gate_and_record(
     return 0
 
 
+def record_pr10(
+    elapsed: float,
+    runs: list[float],
+    digest: str,
+    phases: dict | None,
+) -> None:
+    """Write the packed-engine fig2(ci) record (``BENCH_PR10.json``).
+
+    Reports the same measurement as the BENCH_PR5 gate against the
+    PR 10 wall-clock target instead of the regression baseline. Purely
+    informational: the target is aspirational (the controller is only
+    ~half of fig2's wall clock, so no controller engine can reach it
+    alone — docs/performance.md has the measured split), so a miss
+    never fails the gate; correctness is still pinned by the
+    fingerprint recorded here and checked by tests/golden.
+    """
+    PR10_RESULT_FILE.write_text(json.dumps({
+        "benchmark": "fig2-ci-packed",
+        "engine": "packed",
+        "target_seconds": PR10_TARGET_SECONDS,
+        "target_met": elapsed <= PR10_TARGET_SECONDS,
+        "measured_seconds": round(elapsed, 2),
+        "median_seconds": round(statistics.median(runs), 2),
+        "timed_runs": [round(r, 2) for r in runs],
+        "timing_protocol": f"best-of-{TIMED_RUNS} (median recorded)",
+        "fingerprint": digest,
+        "workers": WORKERS,
+        "seed_seconds": SEED_SECONDS,
+        "speedup_vs_seed": round(SEED_SECONDS / elapsed, 2),
+        "phases": phases or {},
+        "notes": (
+            "target is aspirational: the non-controller phases alone "
+            "exceed 5 s of fig2's wall clock (docs/performance.md), so "
+            "the floor for any controller-only change is above the "
+            "target"
+        ),
+    }, indent=2, sort_keys=True) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -279,12 +332,21 @@ def main(argv: list[str] | None = None) -> int:
             "phases": phases,
         },
     )
+    record_pr10(elapsed, runs, digest, phases)
 
     if not args.skip_figstd:
+        previous_std = {}
+        if STD_RESULT_FILE.exists():
+            previous_std = json.loads(STD_RESULT_FILE.read_text())
         elapsed, runs, digest = measure_figstd()
+        std_phases = (
+            previous_std.get("phases") if args.skip_phases
+            else profile_phases("figstd")
+        )
         exit_status = max(exit_status, gate_and_record(
             STD_RESULT_FILE, "figstd-ci", elapsed, runs, digest,
             args.update_baseline,
+            extra={"phases": std_phases},
         ))
     return exit_status
 

@@ -31,6 +31,7 @@ from repro.analysis.report import render_report
 from repro.devices import DEVICES
 from repro.dram import components
 from repro.dram.address import SCHEMES
+from repro.dram.controller import ENGINES
 from repro.errors import ReproError, exit_code_for
 from repro.experiments.runner import resume_run, run_gap, run_synthetic
 from repro.trace.io import read_trace_path
@@ -86,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
         f"({', '.join(DEVICES.names())}; parameterizable, e.g. "
         "'ddr5-4800:subchannels=4' or 'hbm2:pseudo_channels=4'; "
         "default: the paper's DDR4-2400 — see `dram-stacks specs`)",
+    )
+    analyze.add_argument(
+        "--engine", choices=sorted(ENGINES), default=None,
+        help="controller stepping engine (default: the ControllerConfig "
+        "default, currently 'packed'; all engines are bit-identical — "
+        "see docs/performance.md)",
     )
     analyze.add_argument("--scale", choices=("ci", "paper"), default="ci")
     analyze.add_argument(
@@ -147,6 +154,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="semicolon-separated device selectors (parameterized "
         "selectors contain commas, e.g. "
         "'ddr4-2400;ddr5-4800:subchannels=4'; default ddr4-2400)",
+    )
+    batch.add_argument(
+        "--engines", default="packed", metavar="LIST",
+        help="semicolon-separated controller engines "
+        f"({'; '.join(sorted(ENGINES))}; default packed — non-default "
+        "engines get their own cache keys, the default stays warm)",
     )
     batch.add_argument("--scale", choices=("ci", "paper"), default="ci")
     batch.add_argument(
@@ -328,6 +341,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
             scale=args.scale,
             guard=guard,
             device=args.device,
+            engine=args.engine,
         )
         title = f"GAP {workload.describe()} on {args.cores} core(s)"
     else:
@@ -342,6 +356,7 @@ def _run_analyze(args: argparse.Namespace) -> int:
             guard=guard,
             requesters=args.requesters,
             device=args.device,
+            engine=args.engine,
         )
         title = (
             f"{args.workload} w{int(args.stores * 100)} on "
@@ -349,6 +364,8 @@ def _run_analyze(args: argparse.Namespace) -> int:
         )
     if args.device:
         title += f" [{args.device}]"
+    if args.engine:
+        title += f" <{args.engine}>"
     if args.requesters and args.requesters > 1:
         from repro.viz.ascii_art import render_stack_table
 
@@ -417,6 +434,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         schedulings=_split(args.schedulings, sep=";"),
         requesters=_split(args.requesters, int),
         devices=_split(args.devices, sep=";"),
+        engines=_split(args.engines, sep=";"),
     )
     if not points:
         raise ConfigurationError("the requested grid is empty")

@@ -63,7 +63,7 @@ class ComponentRegistry:
         except KeyError:
             raise ConfigurationError(
                 f"unknown {self.kind} {name!r}; "
-                f"expected one of {self.names()}"
+                f"expected one of {sorted(self.names())}"
             ) from None
 
     def names(self) -> tuple[str, ...]:

@@ -100,7 +100,7 @@ class CoreConfig:
         if self.engine not in CORE_ENGINES:
             raise ConfigurationError(
                 f"unknown core engine {self.engine!r}; "
-                f"expected one of {CORE_ENGINES}"
+                f"expected one of {sorted(CORE_ENGINES)}"
             )
 
     @property

@@ -26,6 +26,7 @@ refresh at tREFI, and the full DDR4 bank/bank-group/rank timing protocol.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass, field
 
 from repro.core.events import (
@@ -43,6 +44,7 @@ from repro.dram.bank import Bank
 from repro.dram.commands import Command, CommandType, Request, RequestType
 from repro.dram.components.accounting import EventLog
 from repro.dram.components.paging import _BankCoords  # noqa: F401 - re-export
+from repro.dram.packed import PackedEngine, packed_fallback_reason
 from repro.dram.rank import BlockScope, RankTiming, SharedBus
 from repro.dram.scheduler import QueuedRequest, RequestQueue
 from repro.dram.timing import DDR4_2400, TimingSpec
@@ -57,9 +59,12 @@ PAGE_POLICIES = components.PAGE_POLICIES.names()
 #: Scheduling engines. ``"fast"`` memoizes the scheduling decision
 #: between state changes (see the ``fr-fcfs`` scheduler component in
 #: :mod:`repro.dram.components.scheduling`); ``"reference"`` re-derives
-#: it from scratch every step. Both produce bit-identical event logs —
-#: the golden/differential tests in ``tests/golden`` hold them to that.
-ENGINES = ("fast", "reference")
+#: it from scratch every step; ``"packed"`` runs the struct-of-arrays
+#: batch engine (:mod:`repro.dram.packed`), falling back to the fast
+#: object path for policies it does not replicate. All three produce
+#: bit-identical event logs — the golden/differential tests in
+#: ``tests/golden`` hold them to that.
+ENGINES = ("fast", "reference", "packed")
 
 #: Sentinel "infinitely far in the future" time.
 FAR_FUTURE = 1 << 62
@@ -113,10 +118,14 @@ class ControllerConfig:
             ``"null"`` records nothing (pure timing runs).
         starvation_cap: FR-FCFS reordering bound — a request older than
             this many cycles beats younger row hits to its bank.
-        engine: ``"fast"`` (default) caches the scheduling decision
-            between state changes; ``"reference"`` recomputes it every
-            step. Results are bit-identical; the reference engine exists
-            as the oracle for the golden/differential test layer.
+        engine: ``"fast"`` caches the scheduling decision between state
+            changes; ``"reference"`` recomputes it every step;
+            ``"packed"`` (default) runs the struct-of-arrays batch loop
+            of :mod:`repro.dram.packed`, falling back to the fast
+            object path (with a log line) for scheduling policies it
+            does not replicate. Results are bit-identical across all
+            three; the reference engine exists as the oracle for the
+            golden/differential test layer.
         device: optional device-preset selector resolved in the
             :data:`repro.devices.DEVICES` registry (``"ddr4-2400"``,
             ``"ddr5-4800:subchannels=2"``, ``"lpddr5-6400"``,
@@ -137,7 +146,7 @@ class ControllerConfig:
     forward_latency: int = 4
     keep_command_trace: bool = False
     refresh_enabled: bool = True
-    engine: str = "fast"
+    engine: str = "packed"
     write_drain: str = "watermark"
     refresh: str | None = None
     accounting: str = "event-log"
@@ -161,7 +170,8 @@ class ControllerConfig:
             object.__setattr__(self, "_device_channels", preset.channels)
         if self.engine not in ENGINES:
             raise ConfigurationError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{sorted(ENGINES)}"
             )
         # Registry lookups raise ConfigurationError with the expected
         # names when a policy string is unknown.
@@ -170,6 +180,22 @@ class ControllerConfig:
         components.WRITE_DRAIN.get(self.write_drain)
         components.REFRESH.get(self.resolved_refresh)
         components.ACCOUNTING.get(self.accounting)
+        if self.engine == "packed":
+            # The packed engine falls back to the fast object path for
+            # policies it does not replicate — but that fallback needs
+            # the scheduler to expose the object-engine seams. A custom
+            # registration lacking both is unrunnable under "packed";
+            # fail here, naming the policy, instead of mid-run.
+            sched = components.make_scheduler(self.scheduling)
+            if not hasattr(sched, "decide") and not hasattr(
+                sched, "reference_plan"
+            ):
+                raise ConfigurationError(
+                    f"engine 'packed' cannot run scheduling policy "
+                    f"{self.scheduling!r}: it defines neither 'decide' "
+                    f"nor 'reference_plan', so even the object fallback "
+                    f"path has no planner for it"
+                )
 
     @property
     def device_channels(self) -> int:
@@ -228,6 +254,10 @@ class MemoryController:
     share one :class:`~repro.core.events.EventBus` across channels;
     standalone controllers get their own.
     """
+
+    #: Class-level default so checkpoints pickled before the packed
+    #: engine existed unpickle cleanly (they resume on the object path).
+    _packed: PackedEngine | None = None
 
     def __init__(
         self,
@@ -306,7 +336,10 @@ class MemoryController:
         )
         self._refresh.bind(self)
 
-        self._fast_engine = self.config.engine == "fast"
+        # "packed" uses the fast object path wherever it falls back (and
+        # for tests that step `_run_one_step` directly), so only the
+        # reference oracle takes the unmemoized branch.
+        self._fast_engine = self.config.engine != "reference"
         self._tRP = self.spec.tRP
         self._tRCD = self.spec.tRCD
         self._trace_commands = self.config.keep_command_trace
@@ -339,6 +372,20 @@ class MemoryController:
         self._ev_heartbeat = events.handlers(SchedulerHeartbeat)
         self._ev_stalled = events.handlers(RequesterStalled)
 
+        # Packed struct-of-arrays engine (see repro.dram.packed). Stays
+        # None unless configured *and* every selected policy is one the
+        # packed loop replicates; otherwise the object path runs and the
+        # fallback is logged once so the degradation is visible.
+        if self.config.engine == "packed":
+            reason = packed_fallback_reason(self)
+            if reason is None:
+                self._packed = PackedEngine(self)
+            else:
+                logging.getLogger(__name__).info(
+                    "packed engine unavailable: %s; falling back to the "
+                    "fast object engine", reason,
+                )
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -360,12 +407,18 @@ class MemoryController:
     @property
     def pending_requests(self) -> int:
         """Requests not yet completed (queued, buffered or in flight)."""
-        return (
+        n = (
             len(self._arrivals)
             + len(self._read_queue)
             + len(self._write_buffer)
             + len(self._in_flight)
         )
+        packed = self._packed
+        if packed is not None and packed.active:
+            # The object queues are empty while the packed engine holds
+            # the entries; its mirrored sizes fill the gap.
+            n += packed.rq_len + packed.wq_len
+        return n
 
     def run_until(self, t_limit: int) -> list[Request]:
         """Advance to `t_limit`; return requests completed on the way."""
@@ -388,6 +441,13 @@ class MemoryController:
 
     def drain(self, t_limit: int = FAR_FUTURE) -> list[Request]:
         """Run until every pending request has completed."""
+        packed = self._packed
+        if packed is not None:
+            if "_plan_entry" in self.__dict__:
+                self._eject_packed()
+            else:
+                packed.run(t_limit, False, stop_when_idle=True)
+                return self._take_completions()
         while self.pending_requests and self.now < t_limit:
             self._run_one_step(t_limit)
         self._collect_finished(self.now)
@@ -399,7 +459,14 @@ class MemoryController:
 
     @property
     def banks(self) -> list[Bank]:
-        """The per-bank state machines (flat order)."""
+        """The per-bank state machines (flat order).
+
+        While the packed engine is active the arrays are authoritative;
+        observing the objects writes the state back first.
+        """
+        packed = self._packed
+        if packed is not None and packed.active:
+            packed.flush()
         return self._banks
 
     # ------------------------------------------------------------------
@@ -424,7 +491,11 @@ class MemoryController:
     @property
     def queued_requests(self) -> int:
         """Requests admitted to the queues but not yet served."""
-        return len(self._read_queue) + len(self._write_buffer)
+        n = len(self._read_queue) + len(self._write_buffer)
+        packed = self._packed
+        if packed is not None and packed.active:
+            n += packed.rq_len + packed.wq_len
+        return n
 
     @property
     def last_command_cycle(self) -> int:
@@ -440,6 +511,9 @@ class MemoryController:
         the command it would issue, its earliest legal cycle and the
         binding timing constraint when it has to wait.
         """
+        packed = self._packed
+        if packed is not None and packed.active:
+            packed.flush()
         max_requests = 32
         queue_head = []
         # Mirrors the drain policy's select_mode without mutating it.
@@ -505,7 +579,36 @@ class MemoryController:
     @property
     def write_buffer_occupancy(self) -> int:
         """Writes currently buffered."""
-        return len(self._write_buffer)
+        n = len(self._write_buffer)
+        packed = self._packed
+        if packed is not None and packed.active:
+            n += packed.wq_len
+        return n
+
+    def __getstate__(self) -> dict:
+        """Checkpoint hook: the packed arrays (and the runner closure
+        they feed) do not pickle — write them back to the objects first
+        and let the engine serialize as an inactive shell."""
+        packed = self._packed
+        if packed is not None and packed.active:
+            packed.flush()
+        return dict(self.__dict__)
+
+    def _eject_packed(self) -> None:
+        """Hand control back to the object engine permanently.
+
+        Called when a reliability drill patches ``_plan_entry`` into the
+        instance dict: the packed loop never routes planning through
+        that seam, so keeping it would bypass the injected fault.
+        """
+        packed = self._packed
+        self._packed = None
+        if packed is not None and packed.active:
+            packed.flush()
+        logging.getLogger(__name__).info(
+            "packed engine ejected: '_plan_entry' was patched on the "
+            "instance (fault injection); continuing on the object engine"
+        )
 
     # ------------------------------------------------------------------
     # Engine
@@ -606,6 +709,13 @@ class MemoryController:
             sched.epoch += 1
 
     def _run(self, t_limit: int, stop_on_read: bool) -> None:
+        packed = self._packed
+        if packed is not None:
+            if "_plan_entry" in self.__dict__:
+                self._eject_packed()
+            else:
+                packed.run(t_limit, stop_on_read)
+                return
         stats = self.stats
         while self.now < t_limit:
             if stop_on_read and stats.reads_completed == stats.reads_enqueued:
@@ -642,6 +752,12 @@ class MemoryController:
         stepping loop as soon as a read completes; the fused wait-and-
         issue shortcut must then not issue past a completion.
         """
+        packed = self._packed
+        if packed is not None and packed.active:
+            # Direct stepping (tests, bespoke drivers) bypasses the
+            # packed dispatch in _run/drain: restore the object queues
+            # so this step sees the real state.
+            packed.flush()
         now = self.now
         arrivals = self._arrivals
         if arrivals and arrivals[0][0] <= now:

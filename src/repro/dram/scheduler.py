@@ -171,7 +171,7 @@ class RequestQueue:
         if policy != "fr-fcfs":
             raise ConfigurationError(
                 f"unknown scheduling policy {policy!r}; "
-                f"expected one of {SCHEDULING_POLICIES}"
+                f"expected one of {sorted(SCHEDULING_POLICIES)}"
             )
         entries, __ = self.select_candidates(open_rows, now, starvation_cap)
         return entries

@@ -95,6 +95,7 @@ def paper_system(
     scheduling: str = "fr-fcfs",
     requesters: int | tuple[int, ...] | None = None,
     device: str | None = None,
+    engine: str | None = None,
 ) -> SystemConfig:
     """The paper's setup: DDR4-2400, FR-FCFS, Skylake-like cores.
 
@@ -116,6 +117,11 @@ def paper_system(
     :data:`repro.devices.DEVICES` registry (``"ddr5-4800"``,
     ``"lpddr5-6400"``, ``"hbm2:pseudo_channels=8"``, ... — see
     docs/devices.md); ``None`` keeps the paper's DDR4-2400.
+
+    `engine` selects the controller stepping engine from
+    :data:`repro.dram.controller.ENGINES` (``"packed"``, ``"fast"``,
+    ``"reference"``); ``None`` keeps the
+    :class:`~repro.dram.controller.ControllerConfig` default.
 
     Every knob is validated eagerly here (naming the bad field) so a
     sweep over many points fails at construction, not mid-run.
@@ -155,12 +161,14 @@ def paper_system(
         requesters = tuple(requesters)
     if hierarchy is None:
         hierarchy = gap_hierarchy() if gap else HierarchyConfig()
+    engine_kwargs = {} if engine is None else {"engine": engine}
     memory = ControllerConfig(
         page_policy=page_policy,
         scheduling=scheduling,
         address_scheme=address_scheme,
         write_queue=WriteQueueConfig(capacity=write_queue_capacity),
         device=device,
+        **engine_kwargs,
     )
     return SystemConfig(
         cores=cores,

@@ -67,6 +67,7 @@ def run_synthetic(
     core_engine: str | None = None,
     requesters: int | tuple[int, ...] | None = None,
     device: str | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run one synthetic configuration through the full pipeline.
 
@@ -87,6 +88,11 @@ def run_synthetic(
     `device` selects a memory device preset from the
     :data:`repro.devices.DEVICES` registry (None = the paper's
     DDR4-2400); see :func:`~repro.experiments.config.paper_system`.
+
+    `engine` selects the controller stepping engine (``"packed"``,
+    ``"fast"`` or ``"reference"``, see
+    :data:`repro.dram.controller.ENGINES`); None keeps the
+    :class:`~repro.dram.controller.ControllerConfig` default.
     """
     scale = get_scale(scale)
     # The scaled (GAP) hierarchy: with the paper's full 11 MB LLC, runs
@@ -105,6 +111,7 @@ def run_synthetic(
         core=None if core_engine is None else CoreConfig(engine=core_engine),
         requesters=requesters,
         device=device,
+        engine=engine,
     )
     workload = make_pattern(pattern, SyntheticConfig(
         accesses_per_core=scale.synthetic_accesses,
@@ -126,6 +133,7 @@ def run_qos(
     core_engine: str | None = None,
     agent_accesses_factor: int = 2,
     solo: str | None = None,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run the canonical QoS scenario: CPU cores vs a streaming agent.
 
@@ -174,6 +182,7 @@ def run_qos(
         gap=True,
         core=None if core_engine is None else CoreConfig(engine=core_engine),
         requesters=requesters,
+        engine=engine,
     )
     system = CpuSystem(config)
     return system.run(traces, guard=guard)
@@ -192,10 +201,11 @@ def run_gap(
     scheduling: str = "fr-fcfs",
     core_engine: str | None = None,
     device: str | None = None,
+    engine: str | None = None,
 ) -> tuple[SimulationResult, GapWorkload]:
     """Run one GAP kernel configuration; returns (result, workload).
 
-    `guard`, `core_engine` and `device` are forwarded as in
+    `guard`, `core_engine`, `device` and `engine` are forwarded as in
     `run_synthetic`.
     """
     scale = get_scale(scale)
@@ -221,6 +231,7 @@ def run_gap(
         gap=True,
         core=None if core_engine is None else CoreConfig(engine=core_engine),
         device=device,
+        engine=engine,
     )
     system = CpuSystem(config)
     result = system.run(workload.traces(cores), guard=guard)

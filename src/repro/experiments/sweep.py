@@ -45,6 +45,9 @@ class SweepPoint:
     requesters: int = 1
     #: Memory device selector (see :data:`repro.devices.DEVICES`).
     device: str = "ddr4-2400"
+    #: Controller stepping engine (see
+    #: :data:`repro.dram.controller.ENGINES`).
+    engine: str = "packed"
 
     @property
     def label(self) -> str:
@@ -60,6 +63,8 @@ class SweepPoint:
             label += f" q{self.requesters}"
         if self.device != "ddr4-2400":
             label += f" {self.device}"
+        if self.engine != "packed":
+            label += f" {self.engine}"
         return label
 
 
@@ -165,7 +170,7 @@ class SweepResult:
         """The sweep as a CSV table."""
         lines = [
             "pattern,cores,store_fraction,page_policy,address_scheme,"
-            "scheduling,requesters,device,"
+            "scheduling,requesters,device,engine,"
             "achieved_gbps,avg_latency_ns,page_hit_rate"
         ]
         for record in self.records:
@@ -173,7 +178,7 @@ class SweepResult:
             lines.append(
                 f"{p.pattern},{p.cores},{p.store_fraction},"
                 f"{p.page_policy},{p.address_scheme},"
-                f"{p.scheduling},{p.requesters},{p.device},"
+                f"{p.scheduling},{p.requesters},{p.device},{p.engine},"
                 f"{record.achieved_gbps:.4f},{record.avg_latency_ns:.2f},"
                 f"{record.page_hit_rate:.4f}"
             )
@@ -208,6 +213,7 @@ def grid(
     schedulings: Iterable[str] = ("fr-fcfs",),
     requesters: Iterable[int] = (1,),
     devices: Iterable[str] = ("ddr4-2400",),
+    engines: Iterable[str] = ("packed",),
 ) -> list[SweepPoint]:
     """Cartesian product of the given axes."""
     return [
@@ -215,6 +221,7 @@ def grid(
         for combo in itertools.product(
             patterns, cores, store_fractions, page_policies,
             address_schemes, schedulings, requesters, devices,
+            engines,
         )
     ]
 
@@ -400,6 +407,9 @@ def _run_point(
                 device=(
                     point.device if point.device != "ddr4-2400" else None
                 ),
+                engine=(
+                    point.engine if point.engine != "packed" else None
+                ),
             )
         except ReproError as error:
             if attempts > retries:
@@ -450,6 +460,8 @@ def point_job(
         config["requesters"] = point.requesters
     if point.device != "ddr4-2400":
         config["device"] = point.device
+    if point.engine != "packed":
+        config["engine"] = point.engine
     return Job(
         kind="synthetic",
         config=config,

@@ -70,7 +70,7 @@ class InvariantAuditor:
         if self.mode not in AUDIT_MODES:
             raise AccountingError(
                 f"unknown audit mode {self.mode!r}; "
-                f"expected one of {AUDIT_MODES}"
+                f"expected one of {sorted(AUDIT_MODES)}"
             )
 
     @property

@@ -44,7 +44,8 @@ def corrupt_trace_lines(
     """
     if kind not in TRACE_FAULTS:
         raise ConfigurationError(
-            f"unknown trace fault {kind!r}; expected one of {TRACE_FAULTS}"
+            f"unknown trace fault {kind!r}; "
+            f"expected one of {sorted(TRACE_FAULTS)}"
         )
     if not lines:
         raise ConfigurationError("cannot corrupt an empty trace")

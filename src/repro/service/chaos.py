@@ -85,7 +85,7 @@ def chaos_plan(
         if fault.get("kind") not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown chaos fault kind {fault.get('kind')!r}; "
-                f"expected one of {FAULT_KINDS}"
+                f"expected one of {sorted(FAULT_KINDS)}"
             )
         if "match" not in fault:
             raise ConfigurationError(

@@ -115,7 +115,9 @@ class SyntheticExecutor:
     ``store_fraction``, ``page_policy``, ``address_scheme``,
     ``scheduling`` (may carry params, e.g. ``"wrr:2,1"``),
     ``requesters``, ``write_queue_capacity``, ``device`` (a
-    :data:`repro.devices.DEVICES` selector, e.g. ``"ddr5-4800"``).
+    :data:`repro.devices.DEVICES` selector, e.g. ``"ddr5-4800"``),
+    ``engine`` (a :data:`repro.dram.controller.ENGINES` name, e.g.
+    ``"reference"``; omit for the default so cache keys stay warm).
     """
 
     cacheable = True

@@ -34,7 +34,8 @@ def make_kernel(name: str, graph: Graph, **params):
     """Instantiate a kernel by name."""
     if name not in _KERNEL_CLASSES:
         raise WorkloadError(
-            f"unknown GAP kernel {name!r}; expected one of {GAP_KERNELS}"
+            f"unknown GAP kernel {name!r}; "
+            f"expected one of {sorted(GAP_KERNELS)}"
         )
     return _KERNEL_CLASSES[name](graph, **params)
 

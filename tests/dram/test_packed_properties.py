@@ -1,0 +1,235 @@
+"""Property suite for the packed struct-of-arrays controller engine.
+
+Locks down :mod:`repro.dram.packed` from three angles:
+
+* **Round-trip** — ``pack()`` immediately followed by ``flush()`` on a
+  mid-run controller restores the object state exactly: global queue
+  order (reads and writes), per-bank open-row and timing-fence state,
+  rank/bus fences and the refresh fences — and a round-tripped
+  controller finishes the stream bit-identically to one that never
+  packed.
+* **Engine agreement** — random request streams produce the same event
+  log digest and the same counters under ``packed``, ``fast`` and
+  ``reference``, across both stock schedulers and both page policies.
+* **Eager rejection** — a custom scheduler registration that exposes
+  neither of the object-engine seams (``decide`` /
+  ``reference_plan``) is refused at config time by ``engine="packed"``
+  with an error naming the policy, instead of failing mid-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (
+    ControllerConfig,
+    DDR4_2400,
+    MemoryController,
+    Request,
+    RequestType,
+)
+from repro.dram import components
+from repro.dram.packed import PackedEngine
+from repro.errors import ConfigurationError
+from repro.reliability.fingerprint import event_log_digest
+from tests.conftest import run_stream
+
+ENGINES = ("packed", "fast", "reference")
+
+
+@st.composite
+def streams(draw):
+    """A single-requester mixed read/write stream."""
+    count = draw(st.integers(min_value=1, max_value=50))
+    t = 0
+    requests = []
+    for _ in range(count):
+        t += draw(st.integers(min_value=0, max_value=120))
+        line = draw(st.integers(min_value=0, max_value=(1 << 14) - 1))
+        is_write = draw(st.booleans()) and draw(st.booleans())
+        requests.append(Request(
+            RequestType.WRITE if is_write else RequestType.READ,
+            line * 64,
+            arrival=t,
+        ))
+    return requests
+
+
+def spec_of(requests):
+    """Pickle the stream into a rebuildable form (runs mutate requests)."""
+    return [
+        (rq.req_type, rq.address, rq.arrival) for rq in requests
+    ]
+
+
+def rebuild(stream_spec):
+    return [
+        Request(type_, address, arrival=arrival)
+        for type_, address, arrival in stream_spec
+    ]
+
+
+def make_controller(
+    engine: str = "fast",
+    scheduling: str = "fr-fcfs",
+    page_policy: str = "open",
+) -> MemoryController:
+    return MemoryController(ControllerConfig(
+        spec=DDR4_2400, engine=engine, scheduling=scheduling,
+        page_policy=page_policy,
+    ))
+
+
+def object_state(ctrl: MemoryController):
+    """The observable object-engine state the pack/flush cycle carries.
+
+    Queue order by request id, per-bank row + timing fences + counters,
+    per-rank/group fences and the FAW window, the data bus, and the
+    refresh fences.
+    """
+    reads = [
+        entry.request.req_id
+        for entry in ctrl._read_queue._global_fifo if not entry.served
+    ]
+    writes = [
+        entry.request.req_id
+        for entry in ctrl._write_buffer.queue._global_fifo
+        if not entry.served
+    ]
+    banks = [
+        (
+            bank.open_row, bank.next_act, bank.next_pre, bank.next_cas,
+            bank.pre_until, bank.act_until, bank.cas_data_until,
+            bank.stats.activates, bank.stats.precharges,
+            bank.stats.reads, bank.stats.writes,
+            bank.stats.row_hits, bank.stats.row_misses,
+        )
+        for bank in ctrl._banks
+    ]
+    ranks = [
+        (
+            list(rank._last_cas_group), list(rank._last_act_group),
+            list(rank._last_write_data_end_group),
+            rank._last_cas_rank, rank._last_act_rank,
+            rank._last_read_issue, rank._last_write_data_end_rank,
+            list(rank._act_window),
+        )
+        for rank in ctrl._ranks
+    ]
+    bus = (ctrl._bus.free_at, ctrl._bus.last_rank)
+    refresh = (ctrl._refresh.until, ctrl._refresh.next_due)
+    return reads, writes, banks, ranks, bus, refresh
+
+
+class TestPackFlushRoundTrip:
+    """pack() -> flush() is the identity on object state."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(requests=streams(), stop=st.integers(min_value=0, max_value=4000))
+    def test_round_trip_restores_state(self, requests, stop):
+        ctrl = make_controller()
+        for request in rebuild(spec_of(requests)):
+            ctrl.enqueue(request)
+        ctrl.run_until(stop)
+        before = object_state(ctrl)
+        engine = PackedEngine(ctrl)
+        engine.pack()
+        # The arrays are authoritative now: the object queues are empty.
+        assert not ctrl._read_queue._global_fifo or before[0] == []
+        engine.flush()
+        assert object_state(ctrl) == before
+
+    @settings(max_examples=15, deadline=None)
+    @given(requests=streams(), stop=st.integers(min_value=0, max_value=4000))
+    def test_round_trip_finishes_identically(self, requests, stop):
+        spec = spec_of(requests)
+
+        control = make_controller()
+        for request in rebuild(spec):
+            control.enqueue(request)
+        control.run_until(stop)
+        control.drain()
+        control.finalize()
+
+        candidate = make_controller()
+        for request in rebuild(spec):
+            candidate.enqueue(request)
+        candidate.run_until(stop)
+        engine = PackedEngine(candidate)
+        engine.pack()
+        engine.flush()
+        candidate.drain()
+        candidate.finalize()
+
+        assert event_log_digest(candidate.log) == event_log_digest(
+            control.log
+        )
+
+
+class TestEngineAgreement:
+    """All three engines emit the same events and counters."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        requests=streams(),
+        scheduling=st.sampled_from(["fr-fcfs", "fcfs"]),
+        page_policy=st.sampled_from(["open", "closed"]),
+    )
+    def test_three_engines_agree(self, requests, scheduling, page_policy):
+        spec = spec_of(requests)
+        digests = {}
+        counters = {}
+        for engine in ENGINES:
+            ctrl = run_stream(
+                make_controller(engine, scheduling, page_policy),
+                rebuild(spec),
+            )
+            digests[engine] = event_log_digest(ctrl.log)
+            counters[engine] = (
+                ctrl.stats.reads_enqueued, ctrl.stats.writes_enqueued,
+                ctrl.stats.page_hit_rate, ctrl.now,
+            )
+        assert digests["packed"] == digests["fast"], (
+            f"packed != fast for {scheduling}/{page_policy}"
+        )
+        assert digests["packed"] == digests["reference"], (
+            f"packed != reference for {scheduling}/{page_policy}"
+        )
+        assert counters["packed"] == counters["fast"]
+        assert counters["packed"] == counters["reference"]
+
+
+class TestEagerRejection:
+    """Unsupported-policy combos fail at config time, naming the policy."""
+
+    def test_packed_rejects_seamless_scheduler(self):
+        class OpaqueScheduler:
+            """Registrable but exposes no object-engine planner seam."""
+
+            name = "test-opaque"
+
+            def bind(self, controller):  # pragma: no cover - never bound
+                pass
+
+        name = "test-opaque"
+        components.SCHEDULERS.register(name)(OpaqueScheduler)
+        try:
+            with pytest.raises(ConfigurationError, match=name):
+                ControllerConfig(spec=DDR4_2400, engine="packed",
+                                 scheduling=name)
+            # The same registration is fine under the object engines.
+            ControllerConfig(spec=DDR4_2400, engine="fast",
+                             scheduling=name)
+        finally:
+            del components.SCHEDULERS._factories[name]
+
+    def test_engine_error_lists_sorted_choices(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ControllerConfig(spec=DDR4_2400, engine="warp")
+        message = str(excinfo.value)
+        assert "fast" in message and "packed" in message
+        assert message.index("fast") < message.index("packed") < (
+            message.index("reference")
+        )

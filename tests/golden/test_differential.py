@@ -42,6 +42,7 @@ def run_config(
     cores: int = 2,
     prefetch: bool = True,
     core_engine: str = "fast",
+    device: str | None = None,
 ):
     """One synthetic run with full control over scheduler knobs.
 
@@ -55,7 +56,7 @@ def run_config(
     """
     config = paper_system(
         cores=cores, page_policy=page_policy, gap=True,
-        core=CoreConfig(engine=core_engine),
+        core=CoreConfig(engine=core_engine), device=device,
     )
     memory = replace(config.memory, scheduling=scheduling, engine=engine)
     if prefetch:
@@ -109,6 +110,105 @@ def test_fast_engine_matches_reference(
     assert not problems, (
         "fast engine diverged from reference:\n  " + "\n  ".join(problems)
     )
+
+
+# ----------------------------------------------------------------------
+# Packed engine vs fast vs reference: bit-identical results.
+# ----------------------------------------------------------------------
+# The packed struct-of-arrays engine must agree with both object
+# engines everywhere it claims support — both page policies, both stock
+# schedulers, store mixes — and everywhere it *falls back*: the QoS
+# entry ("wrr:2,1") exercises the documented object-path fallback
+# (packed_fallback_reason logs it once), and the device entries run the
+# packed loop per channel under DDR5/LPDDR5 timing presets.
+PACKED_MATRIX = [
+    # (pattern, store_fraction, page_policy, scheduling, device)
+    ("sequential", 0.0, "open", "fr-fcfs", None),
+    ("random", 0.0, "open", "fr-fcfs", None),
+    ("strided", 0.3, "open", "fr-fcfs", None),
+    ("pointer-chase", 0.0, "open", "fr-fcfs", None),
+    ("sequential", 0.5, "closed", "fr-fcfs", None),
+    ("random", 0.5, "closed", "fr-fcfs", None),
+    ("sequential", 0.0, "open", "fcfs", None),
+    ("random", 0.3, "closed", "fcfs", None),
+    ("strided", 0.0, "closed", "fr-fcfs", None),
+    ("random", 0.2, "open", "wrr:2,1", None),  # QoS: documented fallback
+    ("random", 0.0, "open", "fr-fcfs", "ddr5-4800"),
+    ("sequential", 0.3, "closed", "fr-fcfs", "ddr5-4800"),
+    ("random", 0.0, "open", "fr-fcfs", "lpddr5-6400"),
+]
+
+
+def _channel_logs(result):
+    memory = result.memory
+    channels = getattr(memory, "channels", None)
+    if channels is None:
+        return [memory.log]
+    return [channel.log for channel in channels]
+
+
+@pytest.mark.parametrize(
+    "pattern,store_fraction,page_policy,scheduling,device",
+    PACKED_MATRIX,
+    ids=[
+        f"{p}-sf{sf}-{pp}-{sched}-{dev or 'ddr4'}"
+        for p, sf, pp, sched, dev in PACKED_MATRIX
+    ],
+)
+def test_packed_engine_matches_fast_and_reference(
+    pattern, store_fraction, page_policy, scheduling, device
+):
+    packed_run = run_config(
+        pattern, store_fraction, page_policy, scheduling,
+        engine="packed", device=device,
+    )
+    fast_run = run_config(
+        pattern, store_fraction, page_policy, scheduling,
+        engine="fast", device=device,
+    )
+    packed = result_fingerprint(packed_run)
+    fast = result_fingerprint(fast_run)
+    problems = diff_fingerprints(fast, packed)
+    assert not problems, (
+        "packed engine diverged from fast:\n  " + "\n  ".join(problems)
+    )
+    reference_run = run_config(
+        pattern, store_fraction, page_policy, scheduling,
+        engine="reference", device=device,
+    )
+    reference = result_fingerprint(reference_run)
+    ref_vs_packed = diff_fingerprints(reference, packed)
+    ref_vs_fast = diff_fingerprints(reference, fast)
+    # The packed engine's contract is bit-identity with *fast*. Fast and
+    # reference agree on every command they issue, but their blocked-
+    # *attribution* logs can legitimately split a wait window at
+    # different cycles: fast derives the binding constraint once when
+    # the wait starts and extends the window in place, while reference
+    # re-derives it at each of its own (different) re-entry cycles, so a
+    # fence that expires mid-wait — leaving only the unattributed
+    # one-command-per-cycle gate — is labeled differently. The stacks
+    # and every command timeline still must match exactly; packed must
+    # never *add* a divergence fast does not already have.
+    assert ref_vs_packed == ref_vs_fast, (
+        "packed engine diverged from reference beyond the known "
+        "fast-vs-reference attribution delta:\n  packed: "
+        + "\n  ".join(ref_vs_packed)
+        + "\n  fast: " + "\n  ".join(ref_vs_fast)
+    )
+    if ref_vs_fast:
+        from repro.reliability.fingerprint import _LOG_FIELDS
+
+        for ch, (plog, rlog) in enumerate(zip(
+            _channel_logs(packed_run), _channel_logs(reference_run)
+        )):
+            for name in _LOG_FIELDS:
+                if name == "blocked":
+                    continue
+                assert getattr(plog, name) == getattr(rlog, name), (
+                    f"channel {ch} {name} timeline diverged — the "
+                    "fast-vs-reference delta must be confined to "
+                    "blocked attribution"
+                )
 
 
 # ----------------------------------------------------------------------

@@ -64,31 +64,40 @@ def assert_identical_stacks(a, b):
         assert lat_a[name] == lat_b[name], f"latency {name} diverged"
 
 
-@pytest.mark.parametrize("core_engine", ["fast", "reference"])
+@pytest.mark.parametrize("core_engine,engine", [
+    ("fast", "packed"),
+    ("fast", "fast"),
+    ("reference", "packed"),
+    ("reference", "reference"),
+])
 class TestRoundTrip:
-    """Round trips must be bit-identical under *both* core steppers:
-    checkpoints snapshot the trace position and in-flight core state,
-    and the fast engine must restore into exactly the reference's
-    observable state (and vice versa — a checkpoint does not record
-    which engine wrote it)."""
+    """Round trips must be bit-identical under the core steppers *and*
+    the controller engines: checkpoints snapshot the trace position,
+    in-flight core state and the flushed controller object state (the
+    packed engine writes its arrays back before pickling), and any
+    engine must restore into exactly the same observable state — a
+    checkpoint does not record which engine wrote it."""
 
-    def test_resume_is_bit_identical(self, tmp_path, core_engine):
+    def test_resume_is_bit_identical(self, tmp_path, core_engine, engine):
         reference = run_synthetic(
             "random", cores=2, store_fraction=0.2, scale="ci",
-            core_engine=core_engine,
+            core_engine=core_engine, engine=engine,
         )
         guard = checkpointing_guard(tmp_path)
         run_synthetic(
             "random", cores=2, store_fraction=0.2, scale="ci",
-            guard=guard, core_engine=core_engine,
+            guard=guard, core_engine=core_engine, engine=engine,
         )
         assert guard.checkpoints.checkpoints_written >= 1
         resumed = resume_run(guard.checkpoints.latest)
         assert_identical_stacks(reference, resumed)
 
-    def test_killed_run_resumes_identically(self, tmp_path, core_engine):
+    def test_killed_run_resumes_identically(
+        self, tmp_path, core_engine, engine
+    ):
         reference = run_synthetic(
-            "sequential", cores=2, scale="ci", core_engine=core_engine
+            "sequential", cores=2, scale="ci", core_engine=core_engine,
+            engine=engine,
         )
         manager = CheckpointManager(
             str(tmp_path),
@@ -98,7 +107,7 @@ class TestRoundTrip:
         with pytest.raises(SimulationTimeoutError):
             run_synthetic(
                 "sequential", cores=2, scale="ci", guard=guard,
-                core_engine=core_engine,
+                core_engine=core_engine, engine=engine,
             )
         assert manager.latest is not None
         resumed = resume_run(manager.latest)
@@ -106,10 +115,11 @@ class TestRoundTrip:
 
     @pytest.mark.slow
     def test_killed_gap_run_resumes_identically(
-        self, tmp_path, core_engine
+        self, tmp_path, core_engine, engine
     ):
         reference, _ = run_gap(
-            "bfs", cores=2, scale="ci", seed=7, core_engine=core_engine
+            "bfs", cores=2, scale="ci", seed=7, core_engine=core_engine,
+            engine=engine,
         )
         manager = CheckpointManager(
             str(tmp_path),
@@ -119,7 +129,7 @@ class TestRoundTrip:
         with pytest.raises(SimulationTimeoutError):
             run_gap(
                 "bfs", cores=2, scale="ci", seed=7, guard=guard,
-                core_engine=core_engine,
+                core_engine=core_engine, engine=engine,
             )
         assert manager.latest is not None
         resumed = resume_run(manager.latest)

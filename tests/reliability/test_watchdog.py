@@ -132,25 +132,34 @@ class TestIntegration:
         )
 
 
-@pytest.mark.parametrize("core_engine", ["fast", "reference"])
+@pytest.mark.parametrize("core_engine,engine", [
+    ("fast", "packed"),
+    ("fast", "fast"),
+    ("reference", "packed"),
+    ("reference", "reference"),
+])
 class TestCoreEngines:
-    """The guardrails must behave identically under both core steppers:
-    the fast engine changes how time advances, not what the watchdog
-    observes (commands issued, queue depth, controller cycles)."""
+    """The guardrails must behave identically under the core steppers
+    *and* the controller engines: the fast core engine changes how time
+    advances and the packed controller engine changes how queue state is
+    stored, but neither changes what the watchdog observes (commands
+    issued, queue depth, controller cycles)."""
 
-    def test_healthy_full_run_never_fires(self, core_engine):
+    def test_healthy_full_run_never_fires(self, core_engine, engine):
         from repro.experiments.runner import run_synthetic
         from repro.reliability.guard import ReliabilityGuard
 
         guard = ReliabilityGuard.default()
         result = run_synthetic(
             "random", cores=2, scale="ci", guard=guard,
-            core_engine=core_engine,
+            core_engine=core_engine, engine=engine,
         )
         assert result.total_cycles > 0
         assert guard.watchdog.stalls_detected == 0
 
-    def test_forced_stall_fires_through_cpu_system(self, core_engine):
+    def test_forced_stall_fires_through_cpu_system(
+        self, core_engine, engine
+    ):
         from repro.cpu.core import CoreConfig
         from repro.cpu.system import CpuSystem
         from repro.experiments.config import paper_system
@@ -160,7 +169,8 @@ class TestCoreEngines:
         )
 
         config = paper_system(
-            cores=1, gap=True, core=CoreConfig(engine=core_engine)
+            cores=1, gap=True, core=CoreConfig(engine=core_engine),
+            engine=engine,
         )
         system = CpuSystem(config)
         system.memory.attach_watchdog(
